@@ -1,0 +1,54 @@
+"""A3 -- ablation: sensitivity to the f(theta) estimate (Section 3.3).
+
+The paper: "it may not be easy to determine an accurate value for
+function f(theta).  However ... even an inaccurate but reasonable
+estimate for f(theta) can work well in practice."  This bench sweeps a
+range of constant f values around the market-basket heuristic
+f(0.5) = 1/3 on a planted basket and shows clustering quality is flat
+across reasonable misestimates, degrading only at the extremes.
+"""
+
+from repro.core import RockPipeline, constant_f, default_f
+from repro.datasets import small_synthetic_basket
+from repro.eval import adjusted_rand_index, format_table
+
+F_VALUES = (0.05, 0.2, 1 / 3, 0.5, 0.7, 0.95)
+THETA = 0.5
+
+
+def run_with_f(basket, f):
+    result = RockPipeline(
+        k=4, theta=THETA, min_cluster_size=6, f=f, seed=5
+    ).fit(basket.transactions)
+    clustered = [i for i in range(len(basket.labels)) if result.labels[i] >= 0]
+    return adjusted_rand_index(
+        [basket.labels[i] for i in clustered],
+        [int(result.labels[i]) for i in clustered],
+    )
+
+
+def test_ablation_ftheta(benchmark, save_result):
+    basket = small_synthetic_basket(
+        n_clusters=4, cluster_size=220, n_outliers=40, seed=17
+    )
+    reference = benchmark.pedantic(
+        lambda: run_with_f(basket, default_f), rounds=1, iterations=1
+    )
+    scores = {value: run_with_f(basket, constant_f(value)) for value in F_VALUES}
+
+    # the heuristic itself recovers the planted clusters
+    assert reference > 0.95
+    # robustness claim: every reasonable misestimate stays near-perfect
+    reasonable = [v for v in F_VALUES if 0.15 <= v <= 0.75]
+    for value in reasonable:
+        assert scores[value] > 0.9, (value, scores[value])
+
+    rows = [["(1-theta)/(1+theta) = 0.333 (paper)", f"{reference:.3f}"]]
+    rows += [[f"constant f = {value:.2f}", f"{scores[value]:.3f}"] for value in F_VALUES]
+    text = format_table(
+        ["f(theta) estimate", "ARI vs planted clusters"],
+        rows,
+        title=f"Ablation A3: f(theta) sensitivity at theta = {THETA} "
+              "(paper: a reasonable estimate works well)",
+    )
+    save_result("ablation_ftheta", text)

@@ -1,0 +1,69 @@
+"""E8 -- Figure 5: ROCK execution time vs random sample size.
+
+Paper shape: execution time (labeling excluded) grows roughly
+quadratically with the sample size, and larger theta is faster at every
+sample size because each transaction then has fewer neighbors, making
+link computation cheaper.
+
+Absolute times are hardware-bound (the paper used a 1998 Sun
+Ultra-2/200); only the curve shapes are asserted.
+"""
+
+from repro.core import RockPipeline
+
+SAMPLE_SIZES = (250, 500, 1000, 1500, 2000)
+THETAS = (0.5, 0.6, 0.7, 0.8)
+
+
+def run_cell(basket, theta, sample_size, seed=3):
+    result = RockPipeline(
+        k=10, theta=theta, sample_size=sample_size, seed=seed
+    ).fit(basket.transactions, label_remaining=False)
+    return result.clustering_seconds()
+
+
+def test_fig5_scalability(benchmark, basket_data, save_result):
+    seconds = {}
+    for theta in THETAS:
+        for sample_size in SAMPLE_SIZES:
+            if (theta, sample_size) == (THETAS[0], SAMPLE_SIZES[-1]):
+                continue
+            seconds[(theta, sample_size)] = run_cell(basket_data, theta, sample_size)
+    # time the largest, slowest cell through the benchmark fixture
+    benchmark.pedantic(
+        lambda: seconds.__setitem__(
+            (THETAS[0], SAMPLE_SIZES[-1]),
+            run_cell(basket_data, THETAS[0], SAMPLE_SIZES[-1]),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # --- paper-shape assertions -----------------------------------------
+    # super-linear growth in sample size (paper: roughly quadratic): an
+    # 8x larger sample should cost clearly more than 8x/2 the time
+    for theta in THETAS:
+        small = seconds[(theta, SAMPLE_SIZES[0])]
+        large = seconds[(theta, SAMPLE_SIZES[-1])]
+        assert large > small * 4, (theta, small, large)
+    # higher theta is faster at the largest sample size (fewer neighbors)
+    largest = SAMPLE_SIZES[-1]
+    assert seconds[(0.8, largest)] < seconds[(0.5, largest)]
+
+    header = ["sample size"] + [f"theta={t}" for t in THETAS]
+    rows = [
+        [s] + [f"{seconds[(t, s)]:.2f}s" for t in THETAS]
+        for s in SAMPLE_SIZES
+    ]
+    text = "\n".join([
+        "Figure 5 (reproduced): execution time vs sample size",
+        "(labeling phase excluded, as in the paper)",
+        "",
+    ]) + "\n" + _table(header, rows)
+    save_result("fig5_scalability", text)
+
+
+def _table(header, rows):
+    from repro.eval import format_table
+
+    return format_table(header, rows)

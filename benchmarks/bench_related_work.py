@@ -1,0 +1,164 @@
+"""R1 -- related-work comparison (Section 2 + Section 1.1).
+
+One table, every algorithm the paper discusses, one overlapping-cluster
+market-basket workload: ROCK vs the traditional centroid algorithm, MST
+(single link), group average, DBSCAN, k-modes, and the [HKKM97]
+association-rule hypergraph clustering.  The paper's qualitative
+ordering is asserted: ROCK on top; the local-similarity methods (MST,
+group average) and the density method (DBSCAN) degrade on overlapping
+clusters; the hypergraph method misassigns transactions that match a
+big item cluster.
+
+Also pins the paper's exact Section 2 walk-through on the Figure 1
+data: item clusters {{7}, rest} and the {1,2,6} / {3,4,5} confusion.
+"""
+
+from itertools import combinations
+
+from repro.baselines import (
+    centroid_cluster,
+    clarans_cluster,
+    cure_cluster,
+    dbscan_cluster,
+    group_average_cluster,
+    item_cluster_transactions,
+    kmodes_cluster,
+    mst_cluster,
+)
+from repro.core import RockPipeline
+from repro.data.records import CategoricalDataset, CategoricalSchema
+from repro.data.transactions import Transaction, TransactionDataset
+from repro.datasets import SyntheticBasketConfig, generate_synthetic_basket
+from repro.eval import adjusted_rand_index, format_table
+
+K = 5
+THETA = 0.45
+
+
+def overlapping_basket():
+    config = SyntheticBasketConfig(
+        cluster_sizes=(260, 220, 180, 140, 100),
+        items_per_cluster=(20, 19, 21, 19, 20),
+        n_outliers=0,
+        overlap_fraction=0.5,
+        shared_pool_size=8,
+    )
+    return generate_synthetic_basket(config, seed=33)
+
+
+def ari_of(labels, truth):
+    pairs = [(t, int(p)) for t, p in zip(truth, labels) if p >= 0]
+    if not pairs:
+        return 0.0
+    return adjusted_rand_index([t for t, _ in pairs], [p for _, p in pairs])
+
+
+def categorical_view(basket):
+    """Transactions as fixed-arity categorical records for k-modes: each
+    record lists its items padded into positional slots."""
+    width = max(len(t) for t in basket.transactions)
+    schema = CategoricalSchema([f"slot{i}" for i in range(width)])
+    rows = []
+    for t in basket.transactions:
+        items = sorted(t.items)
+        rows.append(items + [None] * (width - len(items)))
+    return CategoricalDataset(schema, rows)
+
+
+def test_related_work_comparison(benchmark, save_result):
+    basket = overlapping_basket()
+    truth = basket.labels
+    transactions = basket.transactions
+
+    def run_rock():
+        return RockPipeline(k=K, theta=THETA, min_cluster_size=6, seed=1).fit(
+            transactions
+        )
+
+    rock = benchmark.pedantic(run_rock, rounds=1, iterations=1)
+    scores = {"ROCK (links)": ari_of(rock.labels, truth)}
+
+    trad = centroid_cluster(transactions, k=K)
+    scores["centroid hierarchical"] = ari_of(trad.labels(), truth)
+
+    mst = mst_cluster(transactions, k=K)
+    scores["MST / single link"] = ari_of(mst.labels(), truth)
+
+    avg = group_average_cluster(transactions, k=K)
+    scores["group average"] = ari_of(avg.labels(), truth)
+
+    dbs = dbscan_cluster(transactions, theta=THETA, min_points=3)
+    scores["DBSCAN (same neighborhood)"] = ari_of(dbs.labels(), truth)
+
+    km = kmodes_cluster(categorical_view(basket), k=K, n_init=3, seed=1)
+    scores["k-modes"] = ari_of(km.labels(), truth)
+
+    cure = cure_cluster(transactions, k=K, n_representatives=4, shrink=0.3)
+    scores["CURE (representatives)"] = ari_of(cure.labels(), truth)
+
+    clarans = clarans_cluster(transactions, k=K, num_local=2, seed=1)
+    scores["CLARANS (k-medoids)"] = ari_of(clarans.labels(), truth)
+
+    hk = item_cluster_transactions(
+        transactions, k=K, min_support_count=max(4, len(transactions) // 60),
+        strategy="agglomerate",
+    )
+    scores["[HKKM97] item hypergraph"] = ari_of(hk.labels(), truth)
+
+    # --- paper-shape assertions -----------------------------------------
+    rock_ari = scores["ROCK (links)"]
+    assert rock_ari > 0.95
+    for name, value in scores.items():
+        if name != "ROCK (links)":
+            assert rock_ari >= value - 1e-9, (name, value)
+    # density, item-hypergraph, and partitional methods degrade on the
+    # overlapping clusters; the hierarchical metric methods hold up here
+    # because transactions are large relative to the item overlap -- see
+    # the E2 bench (bench_example_toys) for the small-transaction
+    # geometry where MST and group average fail, as in Example 1.2
+    assert scores["DBSCAN (same neighborhood)"] < 0.9
+    assert scores["[HKKM97] item hypergraph"] < 0.5
+    assert scores["k-modes"] < 0.5
+
+    rows = sorted(scores.items(), key=lambda kv: -kv[1])
+    text = format_table(
+        ["algorithm", "ARI vs planted clusters"],
+        [[name, value] for name, value in rows],
+        title=f"R1: related-work comparison on an overlapping basket "
+              f"(n={len(transactions)}, k={K}, theta={THETA})",
+    ) + (
+        "\n\nnote: the metric hierarchical methods survive this workload "
+        "(transactions of ~15 items\nkeep within-cluster similarity above "
+        "cross-cluster); their Example 1.2 failure on\nsmall transactions "
+        "is pinned in bench_example_toys.py"
+    )
+    save_result("related_work_comparison", text)
+
+
+def test_section2_hypergraph_walkthrough(benchmark, save_result):
+    big = [frozenset(c) for c in combinations([1, 2, 3, 4, 5], 3)]
+    small = [frozenset(c) for c in combinations([1, 2, 6, 7], 3)]
+    ds = TransactionDataset([Transaction(t) for t in big + small])
+    index = {t.items: i for i, t in enumerate(ds)}
+
+    result = benchmark.pedantic(
+        lambda: item_cluster_transactions(ds, k=2, min_support_count=2),
+        rounds=3,
+        iterations=1,
+    )
+    labels = result.labels()
+    # the paper's exact walk-through
+    assert [7] in result.item_clusters
+    assert labels[index[frozenset({1, 2, 6})]] == labels[index[frozenset({3, 4, 5})]]
+
+    rows = [
+        ["item clusters", str(result.item_clusters)],
+        ["label({1,2,6})", int(labels[index[frozenset({1, 2, 6})]])],
+        ["label({3,4,5})", int(labels[index[frozenset({3, 4, 5})]])],
+        ["verdict", "different ground-truth clusters forced together (paper §2)"],
+    ]
+    save_result("section2_hypergraph", format_table(
+        ["measure", "value"], rows,
+        title="Section 2 walk-through: [HKKM97] on the Figure 1 data "
+              "(min support 2)",
+    ))

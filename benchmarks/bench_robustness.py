@@ -1,0 +1,131 @@
+"""A6 -- robustness: the title claim, measured.
+
+ROCK = *RObust* Clustering using linKs.  Two stressors, same harness
+for ROCK and the traditional centroid baseline:
+
+* **resampling stability** -- rerun the sampled pipeline under
+  different seeds and measure how much the partition moves (mean
+  pairwise ARI across runs);
+* **noise injection** -- append random transactions (drawn from the
+  union of all items, like the paper's §5.3 outliers) and measure the
+  clustering of the original points.
+
+Paper basis: the abstract ("ROCK ... is very robust"), §3.2 (outliers
+have few links and "will not be coalesced"), §4.6 (outlier pruning),
+and §5.4 (random sampling does not sacrifice quality).
+"""
+
+import random
+
+from repro.baselines import centroid_cluster
+from repro.core import RockPipeline
+from repro.data.transactions import Transaction
+from repro.datasets import SyntheticBasketConfig, generate_synthetic_basket
+from repro.eval import format_table
+from repro.eval.stability import noise_robustness, stability_analysis
+
+K = 5
+THETA = 0.45
+
+
+def workload():
+    config = SyntheticBasketConfig(
+        cluster_sizes=(240, 200, 160, 120, 80),
+        items_per_cluster=(20, 19, 21, 19, 20),
+        n_outliers=0,
+        shared_pool_size=8,
+    )
+    return generate_synthetic_basket(config, seed=77)
+
+
+def rock_procedure(points, seed):
+    return RockPipeline(
+        k=K, theta=THETA, sample_size=min(300, len(points)),
+        min_cluster_size=6, seed=seed,
+    ).fit(points).labels
+
+
+def centroid_procedure(points, seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    sample = sorted(rng.choice(len(points), size=min(300, len(points)), replace=False).tolist())
+    from repro.data.transactions import TransactionDataset
+
+    ds = TransactionDataset(list(points))
+    result = centroid_cluster(ds.subset(sample), k=K, eliminate_singletons=False)
+    # label the rest by nearest cluster centroid (boolean space)
+    matrix = ds.indicator_matrix().astype(float)
+    labels = [-1] * len(points)
+    centroids = []
+    for cluster in result.clusters:
+        centroids.append(matrix[[sample[i] for i in cluster]].mean(axis=0))
+    centroids = np.array(centroids)
+    d2 = (
+        (matrix**2).sum(axis=1)[:, None]
+        + (centroids**2).sum(axis=1)[None, :]
+        - 2.0 * matrix @ centroids.T
+    )
+    nearest = d2.argmin(axis=1)
+    for i in range(len(points)):
+        labels[i] = int(nearest[i])
+    return labels
+
+
+def test_robustness(benchmark, save_result):
+    basket = workload()
+    points = list(basket.transactions)
+    truth = basket.labels
+    vocabulary = basket.transactions.vocabulary
+
+    def make_noise(i, rng: random.Random):
+        return Transaction(rng.sample(vocabulary, 14), tid=f"noise{i}")
+
+    def run_all():
+        rock_stability = stability_analysis(
+            rock_procedure, points, truth=truth, n_runs=3, base_seed=10
+        )
+        centroid_stability = stability_analysis(
+            centroid_procedure, points, truth=truth, n_runs=3, base_seed=10
+        )
+        rock_noise = noise_robustness(
+            rock_procedure, points, truth, make_noise,
+            noise_fractions=(0.0, 0.2, 0.5), seed=1,
+        )
+        centroid_noise = noise_robustness(
+            centroid_procedure, points, truth, make_noise,
+            noise_fractions=(0.0, 0.2, 0.5), seed=1,
+        )
+        return rock_stability, centroid_stability, rock_noise, centroid_noise
+
+    rock_stab, cen_stab, rock_noise, cen_noise = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    # --- claims -----------------------------------------------------------
+    # resampling: ROCK partitions are reproducible and correct
+    assert rock_stab.mean_pairwise_ari > 0.95
+    assert rock_stab.mean_truth_ari > 0.95
+    # noise: ROCK's original-point clustering survives 50% injected noise
+    assert rock_noise[0.5] > 0.9
+    # and is at least as robust as the centroid baseline at every level
+    for fraction, score in rock_noise.items():
+        assert score >= cen_noise[fraction] - 0.02, fraction
+
+    rows = [
+        ["resampling mean pairwise ARI",
+         rock_stab.mean_pairwise_ari, cen_stab.mean_pairwise_ari],
+        ["resampling mean ARI vs truth",
+         rock_stab.mean_truth_ari, cen_stab.mean_truth_ari],
+    ] + [
+        [f"ARI vs truth at {fraction:.0%} noise",
+         rock_noise[fraction], cen_noise[fraction]]
+        for fraction in sorted(rock_noise)
+    ]
+    text = format_table(
+        ["stressor", "ROCK", "centroid baseline"],
+        rows,
+        title=f"A6: robustness (n={len(points)}, k={K}, theta={THETA}, "
+              "sample=300)",
+    )
+    save_result("robustness", text)

@@ -1,0 +1,72 @@
+"""E5 -- Table 4: mutual-fund clusters from Up/Down/No time series.
+
+Paper shape: ROCK at theta = 0.8 recovers the named fund groups (bonds,
+financial services, precious metals, international, balanced, growth)
+exactly and keeps them unmixed; small tight communities (the paper's
+size-2 same-manager pairs) appear alongside; many idiosyncratic funds
+remain outliers.  See EXPERIMENTS.md for the pair-community deviation
+(our replica's pairs surface as pure communities of size 2-3).
+"""
+
+from repro.core import MissingAwareJaccard, RockPipeline
+from repro.datasets import TABLE4_GROUPS
+from repro.eval import format_table
+
+THETA = 0.8
+K = 40  # 16 named groups + 24 pair communities
+
+
+def test_table4_funds(benchmark, funds_data, save_result):
+    dataset = funds_data.dataset
+    labels = funds_data.group_labels
+
+    def run():
+        return RockPipeline(
+            k=K, theta=THETA, similarity=MissingAwareJaccard(),
+            min_cluster_size=2, outlier_multiple=1.0, seed=0,
+        ).fit(dataset)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    named_found = {}
+    pair_clusters = 0
+    mixed = 0
+    for cluster in result.clusters:
+        groups = {labels[i] for i in cluster}
+        if len(groups) > 1:
+            mixed += 1
+            continue
+        group = groups.pop()
+        if group.startswith("Pair"):
+            pair_clusters += 1
+        elif group:
+            named_found[group] = len(cluster)
+
+    # --- paper-shape assertions -----------------------------------------
+    assert mixed == 0  # no cluster mixes fund groups
+    expected = {name: size for name, size, _ in TABLE4_GROUPS}
+    for name, size in expected.items():
+        assert named_found.get(name) == size, name  # exact Table 4 sizes
+    assert pair_clusters >= 20  # (paper: 24 clusters of size 2)
+    n_outliers = int((result.labels == -1).sum())
+    assert n_outliers >= 100  # idiosyncratic funds stay out
+
+    rows = []
+    for cluster in result.clusters:
+        group = labels[cluster[0]]
+        tickers = " ".join(str(dataset[i].rid) for i in cluster[:5])
+        rows.append([
+            group or "(unnamed)",
+            len(cluster),
+            expected.get(group, "-"),
+            tickers + (" ..." if len(cluster) > 5 else ""),
+        ])
+    text = format_table(
+        ["Cluster (ground-truth group)", "Funds found", "Funds (paper)", "Tickers"],
+        rows,
+        title=f"Table 4 (reproduced): ROCK fund clusters at theta = {THETA}",
+    ) + (
+        f"\n\npair communities found: {pair_clusters} of 24 "
+        f"(paper: 24 size-2 clusters); outlier funds: {n_outliers}"
+    )
+    save_result("table4_funds", text)

@@ -1,0 +1,62 @@
+"""E6 -- Table 5: the synthetic market-basket data set itself.
+
+Regenerates the paper's full-size data set (114,586 transactions, 10
+clusters of 5,411-14,832 transactions over 19-22 items each, ~5%
+outliers, transaction sizes ~ N(15) with 98% in [11, 19]) and checks
+every statistic the table reports.
+"""
+
+from repro.datasets import (
+    TABLE5_CLUSTER_SIZES,
+    TABLE5_ITEMS_PER_CLUSTER,
+    TABLE5_OUTLIERS,
+    generate_synthetic_basket,
+)
+from repro.eval import format_table
+
+
+def test_table5_generator(benchmark, save_result):
+    basket = benchmark.pedantic(
+        lambda: generate_synthetic_basket(seed=0), rounds=1, iterations=1
+    )
+
+    # --- the exact Table 5 row ------------------------------------------
+    assert len(basket.transactions) == 114586
+    per_cluster = [basket.labels.count(c) for c in range(10)]
+    assert per_cluster == list(TABLE5_CLUSTER_SIZES)
+    assert basket.labels.count(-1) == TABLE5_OUTLIERS
+    assert [len(s) for s in basket.cluster_items] == list(TABLE5_ITEMS_PER_CLUSTER)
+
+    # transaction-size distribution: mean 15, 98% in [11, 19]
+    sizes = basket.transactions.sizes()
+    assert 14.5 < sizes.mean() < 15.5
+    in_band = ((sizes >= 11) & (sizes <= 19)).mean()
+    assert in_band > 0.95
+
+    # ~40% of each cluster's items shared with other clusters
+    union_others = [
+        frozenset().union(*(s for j, s in enumerate(basket.cluster_items) if j != c))
+        for c in range(10)
+    ]
+    shared_fractions = [
+        len(items & union_others[c]) / len(items)
+        for c, items in enumerate(basket.cluster_items)
+    ]
+    assert all(0.2 <= f <= 0.5 for f in shared_fractions)
+
+    rows = [
+        [c + 1, per_cluster[c], len(basket.cluster_items[c]),
+         f"{shared_fractions[c]:.0%}"]
+        for c in range(10)
+    ]
+    rows.append(["Outliers", basket.labels.count(-1), basket.n_items, "-"])
+    text = format_table(
+        ["Cluster No.", "No. of Transactions", "No. of Items", "shared items"],
+        rows,
+        title="Table 5 (reproduced): synthetic data set "
+              f"(total items {basket.n_items}; paper: 116 -- see EXPERIMENTS.md)",
+    ) + (
+        f"\n\ntransaction sizes: mean {sizes.mean():.2f}, "
+        f"{in_band:.1%} in [11, 19] (paper: ~15 and 98%)"
+    )
+    save_result("table5_generator", text)

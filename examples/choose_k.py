@@ -1,0 +1,62 @@
+"""Choosing the cluster count: dendrogram cuts and the QROCK fast path.
+
+The paper treats the desired cluster count k as a user-supplied hint.
+This example shows two library extensions for when k is unknown:
+
+* run the merge loop once to k=1, then *cut* the recorded dendrogram at
+  any granularity and read the merge-goodness trace -- the sharp drop
+  marks the natural cluster count (``suggest_k``);
+* skip links entirely and take the connected components of the
+  neighbor graph (the QROCK fast path) -- the coarsest clustering any
+  ROCK run at this theta could reach.
+
+    python examples/choose_k.py
+"""
+
+import random
+
+from repro import Dendrogram, Transaction, qrock
+from repro.core import compute_links, compute_neighbor_graph
+from repro.core.rock import cluster_with_links
+
+
+def planted_baskets(n_clusters=5, per_cluster=40, seed=3):
+    rng = random.Random(seed)
+    points, truth = [], []
+    for c in range(n_clusters):
+        items = [f"c{c}i{j}" for j in range(14)]
+        for _ in range(per_cluster):
+            points.append(Transaction(rng.sample(items, 7)))
+            truth.append(c)
+    return points, truth
+
+
+def main() -> None:
+    points, truth = planted_baskets()
+    print(f"{len(points)} transactions from {len(set(truth))} planted clusters\n")
+
+    graph = compute_neighbor_graph(points, theta=0.35)
+    links = compute_links(graph)
+
+    # one full agglomeration to k=1 records the whole merge tree
+    result = cluster_with_links(links, k=1, f_theta=(1 - 0.35) / (1 + 0.35))
+    tree = Dendrogram.from_result(result)
+
+    suggested = tree.suggest_k()
+    print(f"dendrogram suggests k = {suggested} "
+          f"(merge-goodness drop; planted: {len(set(truth))})")
+    for k in (suggested - 1, suggested, suggested + 1):
+        if not 1 <= k <= tree.n_initial:
+            continue
+        sizes = sorted((len(c) for c in tree.cut(k)), reverse=True)
+        print(f"   cut at k={k}: sizes {sizes[:8]}")
+
+    clusters, outliers = qrock(points, theta=0.35, min_cluster_size=3)
+    print(f"\nQROCK (connected components): {len(clusters)} clusters, "
+          f"{len(outliers)} outliers")
+    mixed = sum(1 for c in clusters if len({truth[i] for i in c}) > 1)
+    print(f"clusters mixing planted groups: {mixed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Categorical clustering: ROCK vs the traditional centroid algorithm.
+
+The Section 5.2 mushroom experiment in miniature: cluster a replica of
+the UCI mushroom data (22 categorical attributes, edible/poisonous
+labels withheld from the algorithms) with both ROCK and the
+centroid-based hierarchical baseline, then compare cluster purity and
+characterise the largest ROCK clusters by their frequent attribute
+values (the Tables 8-9 readout).
+
+    python examples/mushroom_clustering.py
+"""
+
+from repro import RockPipeline
+from repro.baselines import centroid_cluster
+from repro.datasets import small_mushroom
+from repro.eval import (
+    characterize_cluster,
+    class_composition,
+    cluster_purities,
+    format_composition_table,
+    purity,
+)
+
+
+def main() -> None:
+    data = small_mushroom(seed=0)
+    truth = data.class_labels
+    print(f"mushroom replica: {len(data.dataset)} records, "
+          f"{len(data.dataset.schema)} attributes\n")
+
+    rock_result = RockPipeline(
+        k=20, theta=0.8, min_cluster_size=3, seed=0
+    ).fit(data.dataset)
+    print(format_composition_table(
+        class_composition(rock_result.clusters, truth),
+        classes=["edible", "poisonous"],
+        title=f"ROCK (theta=0.8): {rock_result.n_clusters} clusters, "
+              f"purity {purity(rock_result.clusters, truth):.3f}",
+    ))
+
+    centroid_result = centroid_cluster(data.dataset, k=20)
+    print()
+    print(format_composition_table(
+        class_composition(centroid_result.clusters, truth),
+        classes=["edible", "poisonous"],
+        title=f"Traditional centroid: {len(centroid_result.clusters)} clusters, "
+              f"purity {purity(centroid_result.clusters, truth):.3f}",
+    ))
+
+    purities = cluster_purities(rock_result.clusters, truth)
+    pure = sum(1 for p in purities if p == 1.0)
+    print(f"\nROCK pure clusters: {pure}/{len(purities)} "
+          "(the paper: 20 of 21, with one mixed cluster)")
+
+    print("\ncharacteristics of the largest ROCK cluster "
+          "(attribute, value, support >= 0.5):")
+    for entry in characterize_cluster(
+        data.dataset, rock_result.clusters[0], min_support=0.5
+    ):
+        print(f"   {entry}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Robustness: what the 'RO' in ROCK buys you.
+
+Injects increasing amounts of random noise transactions into a planted
+market-basket workload and clusters with ROCK and with the traditional
+centroid algorithm.  ROCK prunes the noise (isolated points have no
+links) and keeps clustering the real data; the centroid method lets
+noise bridge its clusters and degrades sharply -- the quantitative form
+of the paper's Section 3.2 claim that outliers "will not be coalesced".
+
+    python examples/robustness_noise.py
+"""
+
+import random
+
+from repro.baselines import centroid_cluster
+from repro.core import RockPipeline
+from repro.data.transactions import Transaction, TransactionDataset
+from repro.datasets import small_synthetic_basket
+from repro.eval import adjusted_rand_index, format_table
+
+
+def centroid_labels(points, k):
+    ds = TransactionDataset(list(points))
+    return centroid_cluster(ds, k=k, eliminate_singletons=False).labels()
+
+
+def rock_labels(points, k):
+    result = RockPipeline(k=k, theta=0.45, min_cluster_size=6, seed=0).fit(points)
+    return result.labels
+
+
+def score(labels, truth):
+    # unassigned real points become unique singletons: shedding data is
+    # penalised, not hidden
+    fixed = [l if l >= 0 else -(i + 2) for i, l in enumerate(labels[: len(truth)])]
+    return adjusted_rand_index(truth, fixed)
+
+
+def main() -> None:
+    basket = small_synthetic_basket(
+        n_clusters=4, cluster_size=150, n_outliers=0, seed=11
+    )
+    points = list(basket.transactions)
+    vocabulary = basket.transactions.vocabulary
+    rng = random.Random(3)
+
+    rows = []
+    for fraction in (0.0, 0.1, 0.25, 0.5):
+        n_noise = round(fraction * len(points))
+        noise = [
+            Transaction(rng.sample(vocabulary, 14), tid=f"noise{i}")
+            for i in range(n_noise)
+        ]
+        noisy = points + noise
+        rows.append([
+            f"{fraction:.0%}",
+            score(list(rock_labels(noisy, 4)), basket.labels),
+            score(list(centroid_labels(noisy, 4)), basket.labels),
+        ])
+
+    print(format_table(
+        ["injected noise", "ROCK (ARI)", "centroid (ARI)"],
+        rows,
+        title="Clustering quality of the ORIGINAL points as noise is added",
+    ))
+    print("\nROCK discards noise through isolated-point pruning and weak "
+          "links;\nthe centroid method absorbs it and the ripple effect "
+          "spreads.")
+
+
+if __name__ == "__main__":
+    main()

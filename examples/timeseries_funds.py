@@ -1,0 +1,64 @@
+"""Time-series clustering: mutual funds via the Up/Down/No transform.
+
+The Section 5.1/5.2 mutual-funds experiment in miniature: synthesise
+daily closing prices for funds in several groups (bonds, growth,
+international, precious metals ...) with staggered inception dates,
+map each fund to a categorical record of daily Up/Down/No movements,
+and cluster with the missing-value-aware similarity of Section 3.1.2.
+
+    python examples/timeseries_funds.py
+"""
+
+from collections import Counter
+
+from repro import MissingAwareJaccard, RockPipeline
+from repro.datasets import TABLE4_GROUPS, generate_mutual_funds
+from repro.eval import format_table
+
+
+def main() -> None:
+    funds = generate_mutual_funds(
+        groups=TABLE4_GROUPS[:8],  # bonds 1-7 + financial services
+        n_pairs=4,
+        n_outliers=25,
+        n_days=250,
+        seed=3,
+    )
+    print(f"{len(funds.dataset)} funds, {len(funds.dataset.schema)} trading "
+          f"days, {funds.dataset.missing_fraction():.1%} missing cells "
+          "(young funds)\n")
+
+    result = RockPipeline(
+        k=12,
+        theta=0.8,
+        similarity=MissingAwareJaccard(),
+        min_cluster_size=2,
+        outlier_multiple=1.0,
+        seed=0,
+    ).fit(funds.dataset)
+
+    rows = []
+    for c, cluster in enumerate(result.clusters):
+        groups = Counter(funds.group_labels[i] for i in cluster)
+        dominant, count = groups.most_common(1)[0]
+        tickers = " ".join(str(funds.dataset[i].rid) for i in cluster[:4])
+        rows.append([
+            c + 1,
+            len(cluster),
+            dominant or "(outlier funds)",
+            f"{count}/{len(cluster)}",
+            tickers + (" ..." if len(cluster) > 4 else ""),
+        ])
+    print(format_table(
+        ["Cluster", "Funds", "Group", "Dominant", "Tickers"],
+        rows,
+        title="ROCK fund clusters (theta = 0.8) -- compare paper Table 4",
+    ))
+
+    n_outliers = int((result.labels == -1).sum())
+    print(f"\nfunds left as outliers: {n_outliers} "
+          "(idiosyncratic funds, as in the paper)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Baseline clustering algorithms the paper compares ROCK against.
+
+* :func:`~repro.baselines.centroid.centroid_cluster` -- the traditional
+  centroid-based hierarchical algorithm of Section 5 (boolean 0/1
+  expansion, euclidean centroid distance, singleton elimination);
+* :func:`~repro.baselines.mst.mst_cluster` -- MST / single link with
+  Jaccard;
+* :func:`~repro.baselines.group_average.group_average_cluster` --
+  group-average (UPGMA) with Jaccard;
+* :func:`~repro.baselines.kmodes.kmodes_cluster` -- k-modes partitional
+  clustering (extension).
+"""
+
+from repro.baselines.apriori import frequent_itemsets, rule_confidences
+from repro.baselines.clarans import ClaransResult, clarans_cluster
+from repro.baselines.centroid import CentroidResult, centroid_cluster, squared_euclidean_matrix
+from repro.baselines.cure import CureResult, cure_cluster
+from repro.baselines.dbscan import DbscanResult, dbscan_cluster, dbscan_graph
+from repro.baselines.itemclustering import (
+    Hyperedge,
+    ItemClusteringResult,
+    build_hyperedges,
+    item_cluster_transactions,
+    partition_items,
+    score_transaction,
+)
+from repro.baselines.group_average import group_average_cluster
+from repro.baselines.hierarchical import (
+    HierarchicalMerge,
+    HierarchicalResult,
+    agglomerate,
+    centroid_update,
+    complete_link_update,
+    group_average_update,
+    single_link_update,
+)
+from repro.baselines.kmodes import KModesResult, kmodes_cluster, matching_dissimilarity
+from repro.baselines.mst import mst_cluster, similarity_matrix
+
+__all__ = [
+    "CentroidResult",
+    "ClaransResult",
+    "CureResult",
+    "DbscanResult",
+    "clarans_cluster",
+    "cure_cluster",
+    "Hyperedge",
+    "ItemClusteringResult",
+    "build_hyperedges",
+    "dbscan_cluster",
+    "dbscan_graph",
+    "frequent_itemsets",
+    "item_cluster_transactions",
+    "partition_items",
+    "rule_confidences",
+    "score_transaction",
+    "HierarchicalMerge",
+    "HierarchicalResult",
+    "KModesResult",
+    "agglomerate",
+    "centroid_cluster",
+    "centroid_update",
+    "complete_link_update",
+    "group_average_cluster",
+    "group_average_update",
+    "kmodes_cluster",
+    "matching_dissimilarity",
+    "mst_cluster",
+    "similarity_matrix",
+    "single_link_update",
+    "squared_euclidean_matrix",
+]

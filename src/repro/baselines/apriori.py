@@ -1,0 +1,123 @@
+"""Apriori frequent-itemset mining (substrate for the [HKKM97] baseline).
+
+The association-rule hypergraph clustering the paper critiques in
+Section 2 starts from frequent itemsets; this module provides them with
+the classic Apriori algorithm [Agrawal & Srikant 1994], implemented
+from scratch:
+
+1. count single items, keep those meeting minimum support;
+2. generate size-(k+1) candidates by joining size-k frequent itemsets
+   that share a (k-1)-prefix, pruning candidates with any infrequent
+   subset;
+3. count candidates against the transactions; repeat until empty.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Hashable, Iterable
+
+from repro.data.transactions import Transaction
+
+ItemSet = frozenset
+
+
+def frequent_itemsets(
+    transactions: Iterable[Transaction | frozenset | set],
+    min_support_count: int,
+    max_size: int | None = None,
+) -> dict[frozenset, int]:
+    """All itemsets appearing in at least ``min_support_count`` transactions.
+
+    Returns a mapping from itemset (including singletons) to its
+    absolute support count.  ``max_size`` caps the itemset size (useful
+    when only pairs/triples are needed for hyperedges).
+    """
+    if min_support_count < 1:
+        raise ValueError("min_support_count must be at least 1")
+    if max_size is not None and max_size < 1:
+        raise ValueError("max_size must be at least 1 when given")
+    rows: list[frozenset] = [
+        t.items if isinstance(t, Transaction) else frozenset(t)
+        for t in transactions
+    ]
+
+    # L1
+    counts: dict[Hashable, int] = defaultdict(int)
+    for row in rows:
+        for item in row:
+            counts[item] += 1
+    current: dict[frozenset, int] = {
+        frozenset({item}): count
+        for item, count in counts.items()
+        if count >= min_support_count
+    }
+    result = dict(current)
+    size = 1
+    while current and (max_size is None or size < max_size):
+        candidates = _generate_candidates(set(current), size + 1)
+        if not candidates:
+            break
+        tallies: dict[frozenset, int] = defaultdict(int)
+        for row in rows:
+            if len(row) < size + 1:
+                continue
+            for candidate in candidates:
+                if candidate <= row:
+                    tallies[candidate] += 1
+        current = {
+            itemset: count
+            for itemset, count in tallies.items()
+            if count >= min_support_count
+        }
+        result.update(current)
+        size += 1
+    return result
+
+
+def _generate_candidates(
+    frequent: set[frozenset], target_size: int
+) -> set[frozenset]:
+    """Join step + prune step of Apriori."""
+    ordered = sorted(
+        (tuple(sorted(itemset, key=repr)) for itemset in frequent),
+        key=repr,
+    )
+    candidates: set[frozenset] = set()
+    for i in range(len(ordered)):
+        for j in range(i + 1, len(ordered)):
+            a, b = ordered[i], ordered[j]
+            if a[:-1] != b[:-1]:
+                continue
+            candidate = frozenset(a) | frozenset(b)
+            if len(candidate) != target_size:
+                continue
+            # prune: every (size-1)-subset must be frequent
+            if all(
+                candidate - {item} in frequent for item in candidate
+            ):
+                candidates.add(candidate)
+    return candidates
+
+
+def rule_confidences(
+    itemset: frozenset, supports: dict[frozenset, int]
+) -> list[float]:
+    """Confidences of every association rule derivable from an itemset.
+
+    For each non-empty proper subset ``A`` of the itemset, the rule
+    ``A -> itemset \\ A`` has confidence ``supp(itemset) / supp(A)``.
+    [HKKM97] weights a hyperedge by the average of these confidences.
+    """
+    if len(itemset) < 2:
+        raise ValueError("rules need itemsets of at least 2 items")
+    support = supports[itemset]
+    confidences = []
+    items = sorted(itemset, key=repr)
+    # enumerate non-empty proper subsets via bitmasks
+    for mask in range(1, (1 << len(items)) - 1):
+        antecedent = frozenset(
+            items[bit] for bit in range(len(items)) if mask & (1 << bit)
+        )
+        confidences.append(support / supports[antecedent])
+    return confidences

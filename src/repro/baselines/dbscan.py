@@ -1,0 +1,108 @@
+"""DBSCAN over a similarity neighborhood (related work, Section 2).
+
+The paper cites DBSCAN [EKSX96] among clustering algorithms for large
+databases and notes its weakness: growing clusters through dense
+neighborhoods "may be prone to errors if clusters are not
+well-separated" -- one dense bridge point chains two clusters together.
+
+This implementation is adapted to the categorical setting the paper
+studies: the epsilon-ball of a point is its *neighbor set* at
+similarity threshold theta (exactly the neighbor graph ROCK uses), and
+``min_points`` is DBSCAN's core-point density requirement.  That makes
+the comparison head-to-head: both algorithms see the identical
+neighborhood structure; ROCK aggregates it through links, DBSCAN
+through density-reachability.
+
+Returned labels: cluster ids 0.., or -1 for noise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.neighbors import NeighborGraph, compute_neighbor_graph
+from repro.core.similarity import SimilarityFunction
+
+
+@dataclass
+class DbscanResult:
+    """Outcome of a DBSCAN run."""
+
+    clusters: list[list[int]]
+    noise: list[int]
+    core_points: list[int] = field(default_factory=list)
+    n_points: int = 0
+
+    def labels(self) -> np.ndarray:
+        labels = np.full(self.n_points, -1, dtype=np.int64)
+        for c, members in enumerate(self.clusters):
+            for p in members:
+                labels[p] = c
+        return labels
+
+
+def dbscan_graph(graph: NeighborGraph, min_points: int = 3) -> DbscanResult:
+    """DBSCAN over a precomputed neighbor graph.
+
+    A point is *core* when it has at least ``min_points`` neighbors
+    (the point itself is not counted, matching the graph's no-self-loop
+    convention; pass ``min_points - 1`` to replicate conventions that
+    count the point).  Clusters are the density-connected components of
+    core points, plus border points attached to the first core cluster
+    that reaches them.  Deterministic: points are seeded in index order.
+    """
+    if min_points < 1:
+        raise ValueError("min_points must be at least 1")
+    n = graph.n
+    degrees = graph.degrees()
+    neighbor_lists = graph.neighbor_lists()
+    is_core = degrees >= min_points
+
+    labels = np.full(n, -2, dtype=np.int64)  # -2 unvisited, -1 noise
+    clusters: list[list[int]] = []
+    for seed in range(n):
+        if labels[seed] != -2 or not is_core[seed]:
+            continue
+        cluster_id = len(clusters)
+        members: list[int] = []
+        queue = deque([seed])
+        labels[seed] = cluster_id
+        while queue:
+            point = queue.popleft()
+            members.append(point)
+            if not is_core[point]:
+                continue  # border points do not expand
+            for neighbor in neighbor_lists[point]:
+                neighbor = int(neighbor)
+                if labels[neighbor] in (-2, -1):
+                    labels[neighbor] = cluster_id
+                    queue.append(neighbor)
+        clusters.append(sorted(members))
+    noise = [int(p) for p in np.flatnonzero(labels < 0)]
+    for p in noise:
+        labels[p] = -1
+    clusters.sort(key=lambda c: (-len(c), c[0]))
+    return DbscanResult(
+        clusters=clusters,
+        noise=noise,
+        core_points=[int(p) for p in np.flatnonzero(is_core)],
+        n_points=n,
+    )
+
+
+def dbscan_cluster(
+    points: Any,
+    theta: float,
+    min_points: int = 3,
+    similarity: SimilarityFunction | None = None,
+    neighbor_method: str = "auto",
+) -> DbscanResult:
+    """DBSCAN with the similarity-threshold neighborhood of Section 3.1."""
+    graph = compute_neighbor_graph(
+        points, theta, similarity=similarity, method=neighbor_method
+    )
+    return dbscan_graph(graph, min_points=min_points)

@@ -1,0 +1,194 @@
+"""Generic agglomerative hierarchical clustering engine (Section 1.1).
+
+All three traditional baselines the paper discusses -- centroid-based,
+MST/single-link, and group-average -- are instances of the same loop:
+repeatedly merge the closest pair of clusters under some inter-cluster
+dissimilarity, updating dissimilarities with a Lance-Williams-style
+recurrence.  This module implements that loop once, with the classic
+nearest-neighbor bookkeeping (per-row nearest neighbor caches, repaired
+only when invalidated) giving O(n^2) typical behaviour.
+
+The engine works on a *dissimilarity* matrix; similarity-based methods
+convert via ``1 - sim`` before calling in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+# update(d_ux, d_vx, d_uv, n_u, n_v, n_x) -> d_wx  (vectorised over x)
+UpdateRule = Callable[
+    [np.ndarray, np.ndarray, float, int, int, np.ndarray], np.ndarray
+]
+
+
+@dataclass(frozen=True)
+class HierarchicalMerge:
+    """One agglomeration step: clusters ``left`` and ``right`` at ``distance``."""
+
+    left: int
+    right: int
+    distance: float
+    size: int
+
+
+@dataclass
+class HierarchicalResult:
+    """Final flat clustering plus the merge history."""
+
+    clusters: list[list[int]]
+    merges: list[HierarchicalMerge] = field(default_factory=list)
+    n_points: int = 0
+
+    def labels(self) -> np.ndarray:
+        labels = np.full(self.n_points, -1, dtype=np.int64)
+        for c, members in enumerate(self.clusters):
+            for p in members:
+                labels[p] = c
+        return labels
+
+    def sizes(self) -> list[int]:
+        return [len(c) for c in self.clusters]
+
+
+def single_link_update(
+    d_ux: np.ndarray, d_vx: np.ndarray, d_uv: float, n_u: int, n_v: int, n_x: np.ndarray
+) -> np.ndarray:
+    """MST / single link: the closest pair of points decides."""
+    return np.minimum(d_ux, d_vx)
+
+
+def complete_link_update(
+    d_ux: np.ndarray, d_vx: np.ndarray, d_uv: float, n_u: int, n_v: int, n_x: np.ndarray
+) -> np.ndarray:
+    """Complete link: the farthest pair of points decides."""
+    return np.maximum(d_ux, d_vx)
+
+
+def group_average_update(
+    d_ux: np.ndarray, d_vx: np.ndarray, d_uv: float, n_u: int, n_v: int, n_x: np.ndarray
+) -> np.ndarray:
+    """UPGMA: size-weighted average of the parents' dissimilarities.
+
+    This recurrence is *exact* for average pairwise dissimilarity, so
+    group-average over ``1 - Jaccard`` merges the pair with the highest
+    average pairwise Jaccard -- the paper's group-average algorithm.
+    """
+    return (n_u * d_ux + n_v * d_vx) / (n_u + n_v)
+
+
+def centroid_update(
+    d_ux: np.ndarray, d_vx: np.ndarray, d_uv: float, n_u: int, n_v: int, n_x: np.ndarray
+) -> np.ndarray:
+    """UPGMC over *squared* euclidean distances between centroids.
+
+    Lance-Williams: ``d2(w,x) = (n_u d2(u,x) + n_v d2(v,x)) / (n_u+n_v)
+    - n_u n_v d2(u,v) / (n_u+n_v)^2``.  Exact for centroid distance when
+    the input matrix holds squared euclidean distances.
+    """
+    total = n_u + n_v
+    return (n_u * d_ux + n_v * d_vx) / total - (n_u * n_v * d_uv) / (total * total)
+
+
+def agglomerate(
+    dissimilarity: np.ndarray,
+    k: int,
+    update: UpdateRule,
+    stop_distance: float | None = None,
+) -> HierarchicalResult:
+    """Run agglomerative clustering down to ``k`` clusters.
+
+    Parameters
+    ----------
+    dissimilarity:
+        Symmetric ``(n, n)`` dissimilarity matrix (the diagonal is
+        ignored).  The matrix is copied; the caller's array is not
+        mutated.
+    k:
+        Target number of clusters.
+    update:
+        The Lance-Williams-style recurrence producing the merged
+        cluster's dissimilarities to every other cluster.
+    stop_distance:
+        When set, stop (possibly above ``k`` clusters) once the best
+        available merge distance exceeds this threshold -- used to model
+        "no merge is sensible any more".
+    """
+    d = np.array(dissimilarity, dtype=np.float64)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError("dissimilarity must be a square matrix")
+    if not np.allclose(d, d.T, equal_nan=True):
+        raise ValueError("dissimilarity must be symmetric")
+    n = d.shape[0]
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if n == 0:
+        raise ValueError("cannot cluster zero points")
+
+    np.fill_diagonal(d, np.inf)
+    active = np.ones(n, dtype=bool)
+    sizes = np.ones(n, dtype=np.int64)
+    members: dict[int, list[int]] = {i: [i] for i in range(n)}
+
+    # nearest-neighbor caches
+    nn = np.empty(n, dtype=np.int64)
+    nn_dist = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        nn[i] = int(np.argmin(d[i]))
+        nn_dist[i] = d[i, nn[i]]
+
+    merges: list[HierarchicalMerge] = []
+    remaining = n
+    while remaining > k:
+        candidates = np.where(active, nn_dist, np.inf)
+        u = int(np.argmin(candidates))
+        best = candidates[u]
+        if not np.isfinite(best):
+            break  # fully disconnected (all-inf rows)
+        if stop_distance is not None and best > stop_distance:
+            break
+        v = int(nn[u])
+        assert active[v] and v != u
+
+        d_uv = d[u, v]
+        row = update(d[u], d[v], d_uv, int(sizes[u]), int(sizes[v]), sizes)
+        row[u] = np.inf
+        row[v] = np.inf
+        row[~active] = np.inf
+        d[u, :] = row
+        d[:, u] = row
+        d[v, :] = np.inf
+        d[:, v] = np.inf
+        active[v] = False
+        sizes[u] += sizes[v]
+        members[u] = members[u] + members.pop(v)
+        remaining -= 1
+        merges.append(
+            HierarchicalMerge(left=u, right=v, distance=float(d_uv), size=int(sizes[u]))
+        )
+
+        # repair nearest-neighbor caches
+        if remaining > 1:
+            nn[u] = int(np.argmin(d[u]))
+            nn_dist[u] = d[u, nn[u]]
+        else:
+            nn_dist[u] = np.inf
+        stale = np.flatnonzero(active & ((nn == u) | (nn == v)))
+        for i in stale:
+            if i == u:
+                continue
+            nn[i] = int(np.argmin(d[i]))
+            nn_dist[i] = d[i, nn[i]]
+        # rows whose new distance to u improved their cached nn
+        improved = np.flatnonzero(active & (d[:, u] < nn_dist))
+        for i in improved:
+            if i != u:
+                nn[i] = u
+                nn_dist[i] = d[i, u]
+
+    clusters = [sorted(members[i]) for i in np.flatnonzero(active)]
+    clusters.sort(key=lambda c: (-len(c), c[0]))
+    return HierarchicalResult(clusters=clusters, merges=merges, n_points=n)

@@ -1,0 +1,155 @@
+"""Dendrogram view over a ROCK merge history.
+
+The Figure 3 loop stops at ``k`` clusters, but its merge history defines
+the full agglomeration tree above that point.  :class:`Dendrogram`
+reconstructs that tree so callers can
+
+* cut at any cluster count ``>= k`` without re-running the algorithm
+  (``cut(k)``);
+* inspect merge goodness as a function of progress (``goodness_trace``)
+  -- a sharp drop is the classic signal that the "natural" cluster
+  count has been passed, which complements the paper's advice to stop
+  when links run out;
+* suggest a cluster count from the largest relative goodness drop
+  (``suggest_k``).
+
+This is an extension beyond the paper (the paper re-runs per k); it
+falls out of the merge history for free and is the interface a
+downstream user actually wants when k is unknown.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.rock import MergeStep, RockResult
+
+
+class Dendrogram:
+    """The agglomeration tree implied by a sequence of merges.
+
+    Parameters
+    ----------
+    n_points:
+        Number of leaf points (ids ``0 .. n_points-1``; merged clusters
+        get ids ``n_points, n_points+1, ...`` in merge order, matching
+        :func:`repro.core.rock.cluster_with_links`).
+    merges:
+        The merge steps, in order.
+    initial_clusters:
+        The starting partition when the run did not begin from
+        singletons (the outlier-weeding pipeline resumes from clusters);
+        cluster ``i`` of this list has node id ``i``.
+    """
+
+    def __init__(
+        self,
+        n_points: int,
+        merges: Sequence[MergeStep],
+        initial_clusters: Sequence[Sequence[int]] | None = None,
+    ) -> None:
+        if n_points < 1:
+            raise ValueError("need at least one point")
+        self.n_points = n_points
+        self.merges = list(merges)
+        if initial_clusters is None:
+            self._leaves: dict[int, list[int]] = {i: [i] for i in range(n_points)}
+        else:
+            self._leaves = {
+                i: sorted(c) for i, c in enumerate(initial_clusters)
+            }
+        self._members: dict[int, list[int]] = dict(self._leaves)
+        next_expected = len(self._leaves)
+        alive = set(self._leaves)
+        for step in self.merges:
+            if step.left not in alive or step.right not in alive:
+                raise ValueError(
+                    f"merge {step} references a cluster that is not alive"
+                )
+            if step.merged != next_expected:
+                raise ValueError(
+                    f"merge ids must be consecutive; expected {next_expected}, "
+                    f"got {step.merged}"
+                )
+            self._members[step.merged] = sorted(
+                self._members[step.left] + self._members[step.right]
+            )
+            alive.discard(step.left)
+            alive.discard(step.right)
+            alive.add(step.merged)
+            next_expected += 1
+        self._final_alive = alive
+
+    @classmethod
+    def from_result(cls, result: RockResult) -> "Dendrogram":
+        """Build from a :class:`RockResult` produced from singletons."""
+        return cls(result.n_points, result.merges)
+
+    @property
+    def n_initial(self) -> int:
+        return len(self._leaves)
+
+    def members(self, node: int) -> list[int]:
+        """The points under a node (leaf point, initial cluster, or merge)."""
+        return list(self._members[node])
+
+    def cut(self, k: int) -> list[list[int]]:
+        """The partition after merging down to ``k`` clusters.
+
+        ``k`` must be between the final cluster count of the recorded
+        run and the initial cluster count.
+        """
+        final = self.n_initial - len(self.merges)
+        if not final <= k <= self.n_initial:
+            raise ValueError(
+                f"k must be in [{final}, {self.n_initial}] for this history"
+            )
+        alive = set(self._leaves)
+        for step in self.merges[: self.n_initial - k]:
+            alive.discard(step.left)
+            alive.discard(step.right)
+            alive.add(step.merged)
+        clusters = [self._members[node] for node in alive]
+        clusters.sort(key=lambda c: (-len(c), c[0]))
+        return clusters
+
+    def goodness_trace(self) -> np.ndarray:
+        """Merge goodness per step, in merge order."""
+        return np.array([m.goodness for m in self.merges], dtype=np.float64)
+
+    def suggest_k(self, min_k: int = 2) -> int:
+        """Cluster count just before the largest relative goodness drop.
+
+        Scans consecutive merge-goodness ratios and returns the cluster
+        count in effect before the steepest drop (ties: the later,
+        i.e. coarser, cut).  Falls back to the final cluster count when
+        fewer than two merges were recorded.
+        """
+        if min_k < 1:
+            raise ValueError("min_k must be at least 1")
+        trace = self.goodness_trace()
+        final = self.n_initial - len(self.merges)
+        if len(trace) < 2:
+            return max(final, min_k)
+        best_k = max(final, min_k)
+        best_drop = 0.0
+        for i in range(1, len(trace)):
+            k_before = self.n_initial - i  # clusters before merge i runs
+            if k_before < min_k:
+                break
+            previous, current = trace[i - 1], trace[i]
+            if previous <= 0:
+                continue
+            drop = (previous - current) / previous
+            if drop >= best_drop:
+                best_drop = drop
+                best_k = k_before
+        return best_k
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dendrogram(initial={self.n_initial}, merges={len(self.merges)}, "
+            f"final={self.n_initial - len(self.merges)})"
+        )

@@ -1,0 +1,221 @@
+"""Addressable max-heap (substrate for Section 4.3's local/global heaps).
+
+Figure 3 of the paper maintains, for every cluster ``i``, a local heap
+``q[i]`` ordered by goodness, plus a global heap ``Q`` of clusters
+ordered by their best goodness.  Merging clusters requires *deleting*
+and *re-keying* arbitrary entries -- operations the standard-library
+``heapq`` does not support -- so this module implements a binary heap
+with a position map giving O(log n) insert, delete, and update-key, and
+O(1) peek/membership.
+
+Ordering is deterministic: ties on the key are broken by the entry's
+insertion sequence number, so algorithm runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterator
+from typing import Any
+
+
+class AddressableMaxHeap:
+    """A max-heap of unique hashable entries with float keys.
+
+    Entries with larger keys surface first; equal keys surface in
+    insertion order (FIFO among ties).
+    """
+
+    def __init__(self) -> None:
+        # parallel arrays: _entries[i], _keys[i], _seq[i]
+        self._entries: list[Hashable] = []
+        self._keys: list[float] = []
+        self._seq: list[int] = []
+        self._pos: dict[Hashable, int] = {}
+        self._counter = 0
+
+    @classmethod
+    def from_pairs(cls, pairs: "list[tuple[Hashable, float]]") -> "AddressableMaxHeap":
+        """Bulk-build in O(n) by heapify.
+
+        Tie-breaking sequence numbers follow the order of ``pairs``, so
+        the observable peek/pop behaviour is identical to inserting the
+        pairs one at a time.
+        """
+        heap = cls()
+        entries = heap._entries
+        keys = heap._keys
+        pos = heap._pos
+        for entry, key in pairs:
+            if entry in pos:
+                raise KeyError(f"duplicate entry {entry!r}")
+            if isinstance(key, float) and math.isnan(key):
+                raise ValueError("heap keys must not be NaN")
+            pos[entry] = len(entries)
+            entries.append(entry)
+            keys.append(float(key))
+        heap._seq = list(range(len(entries)))
+        heap._counter = len(entries)
+        for index in range(len(entries) // 2 - 1, -1, -1):
+            heap._sift_down(index)
+        return heap
+
+    # -- basic protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, entry: Hashable) -> bool:
+        return entry in self._pos
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Entries in arbitrary (heap) order."""
+        return iter(list(self._entries))
+
+    def key_of(self, entry: Hashable) -> float:
+        """The current key of an entry; KeyError when absent."""
+        return self._keys[self._pos[entry]]
+
+    # -- mutation ------------------------------------------------------------
+    def insert(self, entry: Hashable, key: float) -> None:
+        """Insert a new entry.  Raises on duplicates and NaN keys."""
+        if entry in self._pos:
+            raise KeyError(f"entry {entry!r} already in heap; use update()")
+        if isinstance(key, float) and math.isnan(key):
+            raise ValueError("heap keys must not be NaN")
+        index = len(self._entries)
+        self._entries.append(entry)
+        self._keys.append(float(key))
+        self._seq.append(self._counter)
+        self._counter += 1
+        self._pos[entry] = index
+        self._sift_up(index)
+
+    def update(self, entry: Hashable, key: float) -> None:
+        """Change the key of an existing entry (any direction)."""
+        if isinstance(key, float) and math.isnan(key):
+            raise ValueError("heap keys must not be NaN")
+        index = self._pos[entry]
+        old = self._keys[index]
+        self._keys[index] = float(key)
+        if key > old:
+            self._sift_up(index)
+        elif key < old:
+            self._sift_down(index)
+
+    def insert_or_update(self, entry: Hashable, key: float) -> None:
+        if entry in self._pos:
+            self.update(entry, key)
+        else:
+            self.insert(entry, key)
+
+    def delete(self, entry: Hashable) -> None:
+        """Remove an arbitrary entry; KeyError when absent."""
+        index = self._pos.pop(entry)
+        last = len(self._entries) - 1
+        if index != last:
+            self._entries[index] = self._entries[last]
+            self._keys[index] = self._keys[last]
+            self._seq[index] = self._seq[last]
+            self._pos[self._entries[index]] = index
+        self._entries.pop()
+        self._keys.pop()
+        self._seq.pop()
+        if index <= last - 1:
+            # the moved element may need to go either way
+            self._sift_up(index)
+            self._sift_down(index)
+
+    def peek(self) -> tuple[Hashable, float]:
+        """The (entry, key) with the maximum key, without removal."""
+        if not self._entries:
+            raise IndexError("peek from an empty heap")
+        return self._entries[0], self._keys[0]
+
+    def pop(self) -> tuple[Hashable, float]:
+        """Remove and return the maximum (entry, key) -- ``extract_max``."""
+        entry, key = self.peek()
+        self.delete(entry)
+        return entry, key
+
+    # -- internals -----------------------------------------------------------
+    def _precedes(self, i: int, j: int) -> bool:
+        """Does slot i beat slot j (larger key, then earlier insertion)?"""
+        if self._keys[i] != self._keys[j]:
+            return self._keys[i] > self._keys[j]
+        return self._seq[i] < self._seq[j]
+
+    def _swap(self, i: int, j: int) -> None:
+        self._entries[i], self._entries[j] = self._entries[j], self._entries[i]
+        self._keys[i], self._keys[j] = self._keys[j], self._keys[i]
+        self._seq[i], self._seq[j] = self._seq[j], self._seq[i]
+        self._pos[self._entries[i]] = i
+        self._pos[self._entries[j]] = j
+
+    def _sift_up(self, index: int) -> None:
+        # hot path: comparisons and swaps are inlined
+        entries, keys, seq, pos = self._entries, self._keys, self._seq, self._pos
+        while index > 0:
+            parent = (index - 1) // 2
+            ki, kp = keys[index], keys[parent]
+            if ki > kp or (ki == kp and seq[index] < seq[parent]):
+                entries[index], entries[parent] = entries[parent], entries[index]
+                keys[index], keys[parent] = kp, ki
+                seq[index], seq[parent] = seq[parent], seq[index]
+                pos[entries[index]] = index
+                pos[entries[parent]] = parent
+                index = parent
+            else:
+                break
+
+    def _sift_down(self, index: int) -> None:
+        entries, keys, seq, pos = self._entries, self._keys, self._seq, self._pos
+        size = len(entries)
+        while True:
+            left = 2 * index + 1
+            right = left + 1
+            best = index
+            kb, sb = keys[best], seq[best]
+            if left < size:
+                kl, sl = keys[left], seq[left]
+                if kl > kb or (kl == kb and sl < sb):
+                    best, kb, sb = left, kl, sl
+            if right < size:
+                kr, sr = keys[right], seq[right]
+                if kr > kb or (kr == kb and sr < sb):
+                    best = right
+            if best == index:
+                break
+            entries[index], entries[best] = entries[best], entries[index]
+            keys[index], keys[best] = keys[best], keys[index]
+            seq[index], seq[best] = seq[best], seq[index]
+            pos[entries[index]] = index
+            pos[entries[best]] = best
+            index = best
+
+    def check_invariant(self) -> None:
+        """Assert the heap property and position-map consistency (tests)."""
+        for i in range(1, len(self._entries)):
+            parent = (i - 1) // 2
+            assert not self._precedes(i, parent), f"heap violated at {i}"
+        assert len(self._pos) == len(self._entries)
+        for entry, index in self._pos.items():
+            assert self._entries[index] == entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AddressableMaxHeap(size={len(self)})"
+
+
+def build_heap(pairs: "list[tuple[Any, float]]") -> AddressableMaxHeap:
+    """Build a heap from (entry, key) pairs.
+
+    The paper notes heaps build in linear time ([CLR90]); n inserts are
+    O(n log n) but the difference is irrelevant at our scales, so this
+    convenience keeps the simpler implementation.
+    """
+    heap = AddressableMaxHeap()
+    for entry, key in pairs:
+        heap.insert(entry, key)
+    return heap

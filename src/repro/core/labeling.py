@@ -1,0 +1,191 @@
+"""The disk-labeling phase (Section 4.6, "Labeling Data on Disk").
+
+After clustering a random sample, the remaining database is assigned to
+the discovered clusters:
+
+1. draw a fraction of points ``L_i`` from each cluster ``i``;
+2. stream the original data set; each point ``p`` with ``N_i``
+   neighbors in ``L_i`` is assigned to the cluster maximising the
+   normalised count ``N_i / (|L_i| + 1)^{f(theta)}`` -- the denominator
+   is the expected number of neighbors ``p`` would have in ``L_i`` were
+   it a member of cluster ``i``.
+
+A point with zero neighbors in every labeling set is an outlier and
+receives the label ``-1``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.core.goodness import default_f
+from repro.core.similarity import JaccardSimilarity, SimilarityFunction
+
+
+class ClusterLabeler:
+    """Assigns points to clusters via normalised neighbor counts in L_i sets.
+
+    Parameters
+    ----------
+    labeling_sets:
+        One list of representative points per cluster (the ``L_i``).
+    theta:
+        The neighbor threshold used during clustering.
+    similarity:
+        The similarity function used during clustering (default Jaccard).
+    f:
+        The ``f(theta)`` estimate; the default is the market-basket
+        heuristic of Section 3.3.
+    """
+
+    def __init__(
+        self,
+        labeling_sets: Sequence[Sequence[Any]],
+        theta: float,
+        similarity: SimilarityFunction | None = None,
+        f: Callable[[float], float] = default_f,
+    ) -> None:
+        if not labeling_sets:
+            raise ValueError("need at least one cluster labeling set")
+        if any(len(li) == 0 for li in labeling_sets):
+            raise ValueError("labeling sets must be non-empty")
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError(f"theta must be in [0, 1], got {theta}")
+        self.labeling_sets = [list(li) for li in labeling_sets]
+        self.theta = theta
+        self.similarity = similarity if similarity is not None else JaccardSimilarity()
+        f_theta = f(theta)
+        self._normalisers = np.array(
+            [(len(li) + 1.0) ** f_theta for li in self.labeling_sets]
+        )
+        self._jaccard_index = (
+            self._build_jaccard_index()
+            if isinstance(self.similarity, JaccardSimilarity)
+            else None
+        )
+
+    def _build_jaccard_index(self) -> tuple | None:
+        """Precompute an indicator-matrix view of the labeling sets.
+
+        Streaming Jaccard against every representative is the hot loop
+        of the labeling scan; with all representatives encoded once into
+        a ``(total_reps, vocab)`` 0/1 matrix, each incoming point costs
+        one matrix-vector product instead of ``sum |L_i|`` set encodes.
+        Falls back to the scalar path when any representative is not
+        item-set-like.
+        """
+        from repro.core.similarity import _as_item_set
+
+        try:
+            rep_sets = [
+                [_as_item_set(rep) for rep in li] for li in self.labeling_sets
+            ]
+        except TypeError:
+            return None
+        vocabulary: dict[Any, int] = {}
+        for li in rep_sets:
+            for items in li:
+                for item in items:
+                    vocabulary.setdefault(item, len(vocabulary))
+        total = sum(len(li) for li in rep_sets)
+        matrix = np.zeros((total, max(len(vocabulary), 1)), dtype=np.float64)
+        sizes = np.zeros(total, dtype=np.float64)
+        slices = []
+        row = 0
+        for li in rep_sets:
+            start = row
+            for items in li:
+                for item in items:
+                    matrix[row, vocabulary[item]] = 1.0
+                sizes[row] = len(items)
+                row += 1
+            slices.append((start, row))
+        return vocabulary, matrix, sizes, slices
+
+    def neighbor_counts(self, point: Any) -> np.ndarray:
+        """``N_i``: how many members of each ``L_i`` are neighbors of ``point``."""
+        if self._jaccard_index is not None:
+            return self._neighbor_counts_fast(point)
+        counts = np.zeros(len(self.labeling_sets), dtype=np.int64)
+        for i, li in enumerate(self.labeling_sets):
+            counts[i] = sum(
+                1 for rep in li if self.similarity(point, rep) >= self.theta
+            )
+        return counts
+
+    def _neighbor_counts_fast(self, point: Any) -> np.ndarray:
+        from repro.core.similarity import _as_item_set
+
+        vocabulary, matrix, sizes, slices = self._jaccard_index
+        items = _as_item_set(point)
+        vector = np.zeros(matrix.shape[1], dtype=np.float64)
+        for item in items:
+            column = vocabulary.get(item)
+            if column is not None:
+                vector[column] = 1.0
+        inter = matrix @ vector
+        union = sizes + len(items) - inter
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sim = np.where(union > 0, inter / np.maximum(union, 1e-300), 0.0)
+        is_neighbor = sim >= self.theta
+        return np.array(
+            [int(is_neighbor[a:b].sum()) for a, b in slices], dtype=np.int64
+        )
+
+    def scores(self, point: Any) -> np.ndarray:
+        """The normalised per-cluster assignment scores for one point."""
+        return self.neighbor_counts(point) / self._normalisers
+
+    def assign(self, point: Any) -> int:
+        """Cluster index for a point, or -1 when it has no neighbors anywhere."""
+        counts = self.neighbor_counts(point)
+        if not counts.any():
+            return -1
+        return int(np.argmax(counts / self._normalisers))
+
+    def assign_all(self, points: Iterable[Any]) -> np.ndarray:
+        """Label a stream of points (the sequential disk scan of §4.6)."""
+        return np.array([self.assign(p) for p in points], dtype=np.int64)
+
+
+def draw_labeling_sets(
+    clusters: Sequence[Sequence[int]],
+    points: Sequence[Any],
+    fraction: float = 0.25,
+    min_points: int = 1,
+    rng: random.Random | int | None = None,
+) -> list[list[Any]]:
+    """Draw the per-cluster labeling fraction ``L_i`` from clustered sample points.
+
+    Parameters
+    ----------
+    clusters:
+        Clusters as lists of indices into ``points``.
+    points:
+        The sampled points that were clustered.
+    fraction:
+        Fraction of each cluster to use for labeling, in (0, 1].
+    min_points:
+        Lower bound on ``|L_i|`` so tiny clusters still label.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if min_points < 1:
+        raise ValueError("min_points must be at least 1")
+    if isinstance(rng, random.Random):
+        generator = rng
+    else:
+        generator = random.Random(rng)
+    labeling_sets: list[list[Any]] = []
+    for cluster in clusters:
+        if not cluster:
+            raise ValueError("clusters must be non-empty")
+        size = max(min_points, int(round(fraction * len(cluster))))
+        size = min(size, len(cluster))
+        chosen = generator.sample(list(cluster), size)
+        labeling_sets.append([points[i] for i in sorted(chosen)])
+    return labeling_sets

@@ -1,0 +1,77 @@
+"""Outlier handling (Section 4.6).
+
+The paper prunes outliers at two moments:
+
+1. **At neighbor time** -- "the first pruning occurs when we choose a
+   value for theta ... this immediately allows us to discard the points
+   with very few or no neighbors" -- :func:`prune_sparse_points`.
+2. **Near the end of clustering** -- small groups of loosely connected
+   points "persist as small clusters"; so clustering is stopped when
+   the number of remaining clusters is a small multiple of ``k`` and
+   clusters with very little support are weeded out --
+   :func:`weed_small_clusters` (driven by the pipeline, which then
+   resumes clustering from the surviving clusters).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.neighbors import NeighborGraph
+
+
+def prune_sparse_points(
+    graph: NeighborGraph,
+    min_neighbors: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split points into (kept, discarded) by neighbor count.
+
+    Points with fewer than ``min_neighbors`` neighbors "will never
+    participate in the clustering" and are discarded up front.  The
+    default of 1 discards exactly the isolated points.
+
+    Returns sorted index arrays ``(kept, discarded)`` over the graph's
+    point indexing.
+    """
+    if min_neighbors < 0:
+        raise ValueError("min_neighbors must be non-negative")
+    degrees = graph.degrees()
+    kept = np.flatnonzero(degrees >= min_neighbors)
+    discarded = np.flatnonzero(degrees < min_neighbors)
+    return kept, discarded
+
+
+def weed_small_clusters(
+    clusters: Sequence[Sequence[int]],
+    min_size: int,
+) -> tuple[list[list[int]], list[int]]:
+    """Drop clusters with fewer than ``min_size`` members.
+
+    Returns the surviving clusters (original order) and the flat sorted
+    list of points that became outliers.
+    """
+    if min_size < 1:
+        raise ValueError("min_size must be at least 1")
+    survivors: list[list[int]] = []
+    outliers: list[int] = []
+    for cluster in clusters:
+        if len(cluster) >= min_size:
+            survivors.append(list(cluster))
+        else:
+            outliers.extend(cluster)
+    return survivors, sorted(outliers)
+
+
+def weeding_stop_count(k: int, multiple: float = 3.0) -> int:
+    """The cluster count at which to pause for weeding.
+
+    "We stop the clustering at a point such that the number of remaining
+    clusters is a small multiple of the expected number of clusters."
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if multiple < 1.0:
+        raise ValueError("multiple must be at least 1")
+    return max(k, int(round(k * multiple)))

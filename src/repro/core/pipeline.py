@@ -1,0 +1,290 @@
+"""The end-to-end ROCK pipeline (Section 4.1, Figure 2).
+
+    data -> draw random sample -> cluster with links -> label data on disk
+
+plus the outlier handling of Section 4.6 woven in at its two moments:
+isolated points are discarded after the neighbor computation, and
+(optionally) clustering pauses at a small multiple of ``k`` to weed
+small clusters before resuming to ``k``.
+
+:class:`RockPipeline` is the main public entry point of the library.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.goodness import default_f, goodness as normalized_goodness
+from repro.core.labeling import ClusterLabeler, draw_labeling_sets
+from repro.core.links import compute_links
+from repro.core.neighbors import NeighborGraph, compute_neighbor_graph
+from repro.core.outliers import prune_sparse_points, weed_small_clusters, weeding_stop_count
+from repro.core.rock import GoodnessFunction, RockResult, cluster_with_links
+from repro.core.sampling import sample_indices
+from repro.core.similarity import SimilarityFunction
+from repro.data.records import CategoricalDataset
+from repro.data.transactions import TransactionDataset
+
+
+@dataclass
+class PipelineResult:
+    """Everything a caller needs from one pipeline run.
+
+    Attributes
+    ----------
+    labels:
+        Per-point cluster index over the *full* input (length ``n``),
+        -1 for outliers.
+    clusters:
+        Final clusters as lists of original point indices (sample
+        members plus labeled points), ordered by decreasing size.
+    sample_indices:
+        Original indices of the sampled points.
+    outlier_indices:
+        Original indices of sampled points discarded as outliers
+        (isolated points and weeded small clusters).
+    rock_result:
+        The raw merge-loop result over the pruned sample (its point
+        indexing is internal; use ``clusters``/``labels`` instead).
+    timings:
+        Wall-clock seconds per stage: ``sample``, ``neighbors``,
+        ``links``, ``cluster``, ``label``.  Figure 5 of the paper
+        excludes the labeling phase; its bench sums the others.
+    """
+
+    labels: np.ndarray
+    clusters: list[list[int]]
+    sample_indices: list[int]
+    outlier_indices: list[int]
+    rock_result: RockResult
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def cluster_sizes(self) -> list[int]:
+        return [len(c) for c in self.clusters]
+
+    def clustering_seconds(self) -> float:
+        """Total time excluding labeling (the Figure 5 measurement)."""
+        return sum(v for k, v in self.timings.items() if k != "label")
+
+
+class RockPipeline:
+    """Configurable ROCK pipeline: sample, prune, cluster, weed, label.
+
+    Parameters
+    ----------
+    k:
+        Desired number of clusters (a hint; see paper Section 5.2).
+    theta:
+        Neighbor similarity threshold in [0, 1].
+    similarity:
+        Similarity function (default: Jaccard over transactions /
+        ``A.v``-encoded categorical records).
+    f:
+        The ``f(theta)`` estimate (default: market-basket heuristic).
+    sample_size:
+        Random-sample size; ``None`` clusters the entire input.
+    min_neighbors:
+        Discard sampled points with fewer neighbors than this before
+        clustering (0 disables the pruning).
+    outlier_multiple / min_cluster_size:
+        When ``min_cluster_size`` is set, clustering pauses at
+        ``outlier_multiple * k`` clusters, weeds clusters smaller than
+        ``min_cluster_size``, then resumes to ``k``.
+    labeling_fraction:
+        Fraction of each cluster used as the labeling set ``L_i``.
+    goodness_fn:
+        Merge-goodness strategy (ablation hook).
+    seed:
+        Seed for sampling and labeling-set draws; runs are fully
+        deterministic for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        theta: float,
+        similarity: SimilarityFunction | None = None,
+        f: Callable[[float], float] = default_f,
+        sample_size: int | None = None,
+        min_neighbors: int = 1,
+        outlier_multiple: float = 3.0,
+        min_cluster_size: int | None = None,
+        labeling_fraction: float = 0.25,
+        goodness_fn: GoodnessFunction = normalized_goodness,
+        link_method: str = "auto",
+        neighbor_method: str = "auto",
+        seed: int | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError(f"theta must be in [0, 1], got {theta}")
+        if sample_size is not None and sample_size < 1:
+            raise ValueError("sample_size must be positive when given")
+        self.k = k
+        self.theta = theta
+        self.similarity = similarity
+        self.f = f
+        self.sample_size = sample_size
+        self.min_neighbors = min_neighbors
+        self.outlier_multiple = outlier_multiple
+        self.min_cluster_size = min_cluster_size
+        self.labeling_fraction = labeling_fraction
+        self.goodness_fn = goodness_fn
+        self.link_method = link_method
+        self.neighbor_method = neighbor_method
+        self.seed = seed
+
+    def fit(self, points: Any, label_remaining: bool = True) -> PipelineResult:
+        """Run the pipeline over an in-memory point collection.
+
+        ``points`` may be a :class:`TransactionDataset`, a
+        :class:`CategoricalDataset`, or any sequence accepted by the
+        similarity function.  When ``label_remaining`` is False the
+        non-sampled points keep the label -1 (used by the Figure 5
+        scalability bench, which excludes labeling).
+        """
+        rng = random.Random(self.seed)
+        timings: dict[str, float] = {}
+        n_total = len(points)
+        if n_total == 0:
+            raise ValueError("cannot cluster an empty dataset")
+
+        # -- 1. draw random sample ----------------------------------------
+        start = time.perf_counter()
+        if self.sample_size is not None and self.sample_size < n_total:
+            sampled = sample_indices(n_total, self.sample_size, rng=rng)
+        else:
+            sampled = list(range(n_total))
+        sample_points = _subset(points, sampled)
+        timings["sample"] = time.perf_counter() - start
+
+        # -- 2. neighbors + isolated-point pruning -------------------------
+        start = time.perf_counter()
+        graph = compute_neighbor_graph(
+            sample_points, self.theta, similarity=self.similarity,
+            method=self.neighbor_method,
+        )
+        kept, discarded = prune_sparse_points(graph, max(self.min_neighbors, 0))
+        outlier_sample_positions = list(discarded)
+        if len(kept) == 0:
+            raise ValueError(
+                "every sampled point was pruned as an outlier; lower theta "
+                "or min_neighbors"
+            )
+        pruned_graph: NeighborGraph = (
+            graph if len(kept) == len(graph) else graph.subgraph(kept)
+        )
+        timings["neighbors"] = time.perf_counter() - start
+
+        # -- 3. links -------------------------------------------------------
+        start = time.perf_counter()
+        links = compute_links(pruned_graph, method=self.link_method)
+        timings["links"] = time.perf_counter() - start
+
+        # -- 4. cluster (with optional pause-and-weed) ----------------------
+        start = time.perf_counter()
+        f_theta = self.f(self.theta)
+        if self.min_cluster_size is not None:
+            pause_at = weeding_stop_count(self.k, self.outlier_multiple)
+            first = cluster_with_links(
+                links, k=pause_at, f_theta=f_theta, goodness_fn=self.goodness_fn
+            )
+            survivors, weeded = weed_small_clusters(
+                first.clusters, self.min_cluster_size
+            )
+            outlier_sample_positions.extend(int(kept[p]) for p in weeded)
+            if not survivors:
+                raise ValueError(
+                    "outlier weeding removed every cluster; lower "
+                    "min_cluster_size"
+                )
+            result = cluster_with_links(
+                links,
+                k=self.k,
+                f_theta=f_theta,
+                initial_clusters=survivors,
+                goodness_fn=self.goodness_fn,
+            )
+        else:
+            result = cluster_with_links(
+                links, k=self.k, f_theta=f_theta, goodness_fn=self.goodness_fn
+            )
+        timings["cluster"] = time.perf_counter() - start
+
+        # translate pruned-graph indices -> original dataset indices
+        clusters_original: list[list[int]] = [
+            sorted(int(sampled[int(kept[p])]) for p in cluster)
+            for cluster in result.clusters
+        ]
+        outlier_indices = sorted(int(sampled[p]) for p in outlier_sample_positions)
+
+        # -- 5. label remaining data ----------------------------------------
+        start = time.perf_counter()
+        labels = np.full(n_total, -1, dtype=np.int64)
+        for c, cluster in enumerate(clusters_original):
+            for original in cluster:
+                labels[original] = c
+        if label_remaining and len(sampled) < n_total:
+            point_list = _as_list(points)
+            labeling_sets = draw_labeling_sets(
+                clusters_original,
+                point_list,
+                fraction=self.labeling_fraction,
+                rng=rng,
+            )
+            labeler = ClusterLabeler(
+                labeling_sets,
+                theta=self.theta,
+                similarity=self.similarity,
+                f=self.f,
+            )
+            in_sample = set(sampled)
+            for index in range(n_total):
+                if index in in_sample:
+                    continue
+                labels[index] = labeler.assign(point_list[index])
+        timings["label"] = time.perf_counter() - start
+
+        full_clusters: list[list[int]] = [[] for _ in clusters_original]
+        for index, label in enumerate(labels):
+            if label >= 0:
+                full_clusters[label].append(index)
+        order = sorted(
+            range(len(full_clusters)),
+            key=lambda c: (-len(full_clusters[c]), full_clusters[c][0] if full_clusters[c] else -1),
+        )
+        remap = {old: new for new, old in enumerate(order)}
+        labels = np.array(
+            [remap[l] if l >= 0 else -1 for l in labels], dtype=np.int64
+        )
+        full_clusters = [full_clusters[old] for old in order]
+
+        return PipelineResult(
+            labels=labels,
+            clusters=full_clusters,
+            sample_indices=list(map(int, sampled)),
+            outlier_indices=outlier_indices,
+            rock_result=result,
+            timings=timings,
+        )
+
+
+def _subset(points: Any, indices: Sequence[int]) -> Any:
+    if isinstance(points, (TransactionDataset, CategoricalDataset)):
+        return points.subset(indices)
+    return [points[i] for i in indices]
+
+
+def _as_list(points: Any) -> list[Any]:
+    return list(points)

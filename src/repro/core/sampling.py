@@ -1,0 +1,126 @@
+"""Reservoir sampling (Section 4.6, citing Vitter [Vit85]).
+
+ROCK draws a uniform random sample from the (possibly disk-resident)
+database so the clustering phase fits in main memory.  The cited paper
+is Vitter's "Random sampling with a reservoir"; two of its algorithms
+are implemented from scratch:
+
+* :func:`reservoir_sample` -- Algorithm R: keep the first ``s`` items,
+  then replace a random slot with decreasing probability.  One random
+  number per item.
+* :func:`reservoir_sample_skip` -- Algorithm X: instead of deciding per
+  item, draw the number of items to *skip* before the next replacement,
+  touching O(s (1 + log(n/s))) random numbers.  Output distribution is
+  identical; the skipping is what makes streaming over a large database
+  cheap.
+
+Both return ``(sample, indices)`` so callers can tell which database
+rows were selected -- the labeling phase needs the complement.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def _check_size(sample_size: int) -> None:
+    if sample_size < 1:
+        raise ValueError("sample_size must be at least 1")
+
+
+def reservoir_sample(
+    items: Iterable[T],
+    sample_size: int,
+    rng: random.Random | int | None = None,
+) -> tuple[list[T], list[int]]:
+    """Vitter's Algorithm R: uniform sample without replacement from a stream.
+
+    When the stream has fewer than ``sample_size`` items the whole
+    stream is returned.  Returns the sampled items and their original
+    stream indices, both ordered by stream position.
+    """
+    _check_size(sample_size)
+    rng = _as_rng(rng)
+    reservoir: list[tuple[int, T]] = []
+    for index, item in enumerate(items):
+        if index < sample_size:
+            reservoir.append((index, item))
+        else:
+            slot = rng.randrange(index + 1)
+            if slot < sample_size:
+                reservoir[slot] = (index, item)
+    reservoir.sort(key=lambda pair: pair[0])
+    return [item for _, item in reservoir], [index for index, _ in reservoir]
+
+
+def reservoir_sample_skip(
+    items: Iterable[T],
+    sample_size: int,
+    rng: random.Random | int | None = None,
+) -> tuple[list[T], list[int]]:
+    """Vitter's Algorithm X: reservoir sampling by skip-count drawing.
+
+    After the reservoir fills at position ``t = s``, the number of
+    records to skip before the next replacement is drawn directly from
+    the skip distribution ``P(skip >= g) = prod_{i=1..g} (t - s + i)/(t + i)``
+    by inversion: draw ``u`` and take the smallest ``g`` with
+    ``P(skip >= g) <= u``.  Distribution-identical to Algorithm R.
+    """
+    _check_size(sample_size)
+    rng = _as_rng(rng)
+    iterator: Iterator[tuple[int, T]] = enumerate(items)
+    reservoir: list[tuple[int, T]] = []
+    for index, item in iterator:
+        reservoir.append((index, item))
+        if len(reservoir) == sample_size:
+            break
+    if len(reservoir) < sample_size:
+        return (
+            [item for _, item in reservoir],
+            [index for index, _ in reservoir],
+        )
+
+    t = sample_size  # number of records seen so far
+    while True:
+        u = rng.random()
+        # find skip count g by inversion of the tail probability
+        quotient = (t - sample_size + 1) / (t + 1)
+        g = 0
+        while quotient > u:
+            g += 1
+            quotient *= (t - sample_size + 1 + g) / (t + 1 + g)
+        skipped = 0
+        chosen: tuple[int, T] | None = None
+        for index, item in iterator:
+            if skipped == g:
+                chosen = (index, item)
+                break
+            skipped += 1
+        if chosen is None:
+            break  # stream exhausted during the skip
+        t += g + 1
+        reservoir[rng.randrange(sample_size)] = chosen
+    reservoir.sort(key=lambda pair: pair[0])
+    return [item for _, item in reservoir], [index for index, _ in reservoir]
+
+
+def sample_indices(
+    n: int,
+    sample_size: int,
+    rng: random.Random | int | None = None,
+) -> list[int]:
+    """Uniform sorted index sample from ``range(n)`` (convenience wrapper)."""
+    _, indices = reservoir_sample(range(n), sample_size, rng=rng)
+    return indices
+
+
+def _as_rng(rng: random.Random | int | None) -> random.Random:
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)

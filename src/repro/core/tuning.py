@@ -1,0 +1,145 @@
+"""Choosing theta: data-driven advice for the neighbor threshold.
+
+The paper leaves theta to the user ("depending on the desired
+closeness, an appropriate value of theta may be chosen by the user",
+Section 3.1) but offers two anchors:
+
+* with roughly uniform transaction sizes, the similarity between two
+  transactions takes at most ``min(|T1|, |T2|) + 1`` distinct values
+  (Section 3.1.1) -- "this could simplify the choice of an appropriate
+  value for the parameter theta": theta only needs to land *between*
+  two adjacent levels;
+* experimentally, "values of theta larger than 0.5 generally resulted
+  in good clustering" (Section 4.4) and lower theta is safer when
+  clusters share many items (Section 5.4).
+
+This module operationalises both: :func:`similarity_profile` samples
+pairwise similarities, and :func:`suggest_theta` places theta in the
+widest low-density gap of that sample between configurable bounds --
+the valley between the "random pair" mass and the "same cluster" mass.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.similarity import JaccardSimilarity, SimilarityFunction
+
+
+@dataclass(frozen=True)
+class ThetaSuggestion:
+    """Outcome of :func:`suggest_theta`.
+
+    ``theta`` is the recommended threshold; ``gap`` is the (low, high)
+    similarity gap it sits in; ``profile`` is the sorted sample of
+    pairwise similarities the suggestion was computed from.
+    """
+
+    theta: float
+    gap: tuple[float, float]
+    profile: np.ndarray
+
+    @property
+    def gap_width(self) -> float:
+        return self.gap[1] - self.gap[0]
+
+
+def similarity_profile(
+    points: Any,
+    similarity: SimilarityFunction | None = None,
+    max_pairs: int = 2000,
+    rng: random.Random | int | None = None,
+) -> np.ndarray:
+    """A sorted sample of pairwise similarities.
+
+    Samples up to ``max_pairs`` distinct unordered pairs uniformly (all
+    pairs when the data is small enough).
+    """
+    if max_pairs < 1:
+        raise ValueError("max_pairs must be positive")
+    pts = list(points)
+    n = len(pts)
+    if n < 2:
+        raise ValueError("need at least two points")
+    if similarity is None:
+        similarity = JaccardSimilarity()
+    generator = rng if isinstance(rng, random.Random) else random.Random(rng)
+    total_pairs = n * (n - 1) // 2
+    values = []
+    if total_pairs <= max_pairs:
+        for i in range(n):
+            for j in range(i + 1, n):
+                values.append(similarity(pts[i], pts[j]))
+    else:
+        seen: set[tuple[int, int]] = set()
+        while len(seen) < max_pairs:
+            i = generator.randrange(n)
+            j = generator.randrange(n)
+            if i == j:
+                continue
+            pair = (min(i, j), max(i, j))
+            if pair in seen:
+                continue
+            seen.add(pair)
+            values.append(similarity(pts[i], pts[j]))
+    return np.sort(np.array(values, dtype=np.float64))
+
+
+def suggest_theta(
+    points: Any,
+    similarity: SimilarityFunction | None = None,
+    low: float = 0.2,
+    high: float = 0.95,
+    min_upper_mass: float = 0.02,
+    min_lower_mass: float = 0.2,
+    max_pairs: int = 2000,
+    rng: random.Random | int | None = None,
+) -> ThetaSuggestion:
+    """Place theta in the widest *supported* similarity gap.
+
+    The sampled pairwise similarities of clustered categorical data are
+    bimodal: a large mass of near-zero cross-cluster pairs and a mass of
+    high within-cluster pairs.  Theta belongs in the gap between the
+    modes.  A gap only qualifies when both modes actually exist on its
+    two sides: at least ``min_upper_mass`` of sampled pairs must sit
+    above it (those become the neighbor pairs) and at least
+    ``min_lower_mass`` below (otherwise theta is vacuous).  This guards
+    against the spurious wide gaps in the sparse upper tail of
+    unimodal profiles.  The widest qualifying gap within ``[low, high]``
+    wins; with none, the midpoint of ``[low, high]`` is returned with a
+    zero-width gap.
+    """
+    if not 0.0 <= low < high <= 1.0:
+        raise ValueError("need 0 <= low < high <= 1")
+    if not 0.0 <= min_upper_mass < 1.0 or not 0.0 <= min_lower_mass < 1.0:
+        raise ValueError("mass thresholds must be in [0, 1)")
+    profile = similarity_profile(
+        points, similarity=similarity, max_pairs=max_pairs, rng=rng
+    )
+    total = len(profile)
+    # candidate boundaries: observed values plus the band edges
+    inside = profile[(profile >= low) & (profile <= high)]
+    boundaries = np.concatenate(([low], inside, [high]))
+    best_gap: tuple[float, float] | None = None
+    for gap_low, gap_high in zip(boundaries, boundaries[1:]):
+        width = gap_high - gap_low
+        if width <= 0.0:
+            continue
+        upper_mass = float((profile >= gap_high).sum()) / total
+        lower_mass = float((profile <= gap_low).sum()) / total
+        if upper_mass < min_upper_mass or lower_mass < min_lower_mass:
+            continue
+        if best_gap is None or width > best_gap[1] - best_gap[0]:
+            best_gap = (float(gap_low), float(gap_high))
+    if best_gap is None:
+        midpoint = (low + high) / 2.0
+        return ThetaSuggestion(theta=midpoint, gap=(midpoint, midpoint), profile=profile)
+    return ThetaSuggestion(
+        theta=(best_gap[0] + best_gap[1]) / 2.0,
+        gap=best_gap,
+        profile=profile,
+    )

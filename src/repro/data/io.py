@@ -1,0 +1,178 @@
+"""Plain-text readers and writers for the data formats used in the paper.
+
+Two formats are supported:
+
+* **UCI ``.data`` CSV** -- one record per line, comma-separated values,
+  ``?`` marking a missing value.  This is the on-disk format of the
+  Congressional Votes and Mushroom data sets the paper uses; our
+  synthetic replicas round-trip through the same format so the loading
+  path is exercised end to end.
+* **Transactions file** -- one transaction per line, items separated by
+  whitespace.  This is the natural serialisation of the market-basket
+  synthetic data set of Section 5.3 and is also how the "data on disk"
+  of the labeling phase (Section 4.6) is streamed.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.data.records import MISSING, CategoricalDataset, CategoricalSchema
+from repro.data.transactions import Transaction, TransactionDataset
+
+MISSING_TOKEN = "?"
+
+
+def _open_for_read(source: str | Path | TextIO) -> tuple[TextIO, bool]:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def _open_for_write(target: str | Path | TextIO) -> tuple[TextIO, bool]:
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="utf-8"), True
+    return target, False
+
+
+# ---------------------------------------------------------------------------
+# UCI .data CSV
+# ---------------------------------------------------------------------------
+
+def read_uci_data(
+    source: str | Path | TextIO,
+    attributes: list[str],
+    label_column: int | None = 0,
+) -> CategoricalDataset:
+    """Read a UCI-style ``.data`` file into a :class:`CategoricalDataset`.
+
+    Parameters
+    ----------
+    source:
+        Path or open text stream.
+    attributes:
+        Names for the non-label columns, in file order.
+    label_column:
+        Index (within the raw CSV row) of the class-label column, or
+        ``None`` when the file has no label.  UCI convention puts the
+        label first (mushroom) or derives it from the first field
+        (votes); both data sets the paper uses have it at column 0.
+    """
+    stream, owned = _open_for_read(source)
+    try:
+        schema = CategoricalSchema(attributes)
+        rows: list[list[Any]] = []
+        labels: list[Any] = []
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = [f.strip() for f in line.split(",")]
+            label = None
+            if label_column is not None:
+                if label_column >= len(fields):
+                    raise ValueError(f"line {lineno}: no label column {label_column}")
+                label = fields[label_column]
+                fields = fields[:label_column] + fields[label_column + 1 :]
+            if len(fields) != len(attributes):
+                raise ValueError(
+                    f"line {lineno}: expected {len(attributes)} values, "
+                    f"got {len(fields)}"
+                )
+            rows.append([MISSING if f == MISSING_TOKEN else f for f in fields])
+            labels.append(label)
+        return CategoricalDataset(schema, rows, labels=labels)
+    finally:
+        if owned:
+            stream.close()
+
+
+def write_uci_data(
+    dataset: CategoricalDataset,
+    target: str | Path | TextIO,
+    include_label: bool = True,
+) -> None:
+    """Write a :class:`CategoricalDataset` in UCI ``.data`` CSV format.
+
+    The label, when included, is written as the first column -- matching
+    the layout of the mushroom data set.
+    """
+    stream, owned = _open_for_write(target)
+    try:
+        for record in dataset:
+            fields = [
+                MISSING_TOKEN if v is MISSING else str(v) for v in record.values
+            ]
+            if include_label:
+                fields.insert(0, str(record.label))
+            stream.write(",".join(fields) + "\n")
+    finally:
+        if owned:
+            stream.close()
+
+
+# ---------------------------------------------------------------------------
+# Transactions file
+# ---------------------------------------------------------------------------
+
+def read_transactions(
+    source: str | Path | TextIO,
+    vocabulary: list[str] | None = None,
+) -> TransactionDataset:
+    """Read a one-transaction-per-line, whitespace-separated items file."""
+    stream, owned = _open_for_read(source)
+    try:
+        transactions = []
+        for lineno, line in enumerate(stream):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            transactions.append(Transaction(line.split(), tid=lineno))
+        return TransactionDataset(transactions, vocabulary=vocabulary)
+    finally:
+        if owned:
+            stream.close()
+
+
+def write_transactions(
+    dataset: Iterable[Transaction],
+    target: str | Path | TextIO,
+) -> None:
+    """Write transactions one per line, items sorted and space-separated."""
+    stream, owned = _open_for_write(target)
+    try:
+        for t in dataset:
+            stream.write(" ".join(sorted(str(i) for i in t)) + "\n")
+    finally:
+        if owned:
+            stream.close()
+
+
+def iter_transactions(source: str | Path | TextIO) -> Iterator[Transaction]:
+    """Stream transactions from disk one at a time.
+
+    This is the access pattern of the labeling phase (Section 4.6): the
+    original data set is *read from disk* sequentially and each point is
+    assigned to a cluster without ever materialising the whole database
+    in memory.
+    """
+    stream, owned = _open_for_read(source)
+    try:
+        for lineno, line in enumerate(stream):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield Transaction(line.split(), tid=lineno)
+    finally:
+        if owned:
+            stream.close()
+
+
+def transactions_to_string(dataset: Iterable[Transaction]) -> str:
+    """Serialise transactions to the transactions-file format in memory."""
+    buf = io.StringIO()
+    write_transactions(dataset, buf)
+    return buf.getvalue()

@@ -1,0 +1,196 @@
+"""Fixed-schema categorical records with missing values.
+
+Section 3.1.2 of the paper handles data sets with categorical attributes
+by modelling each record as a transaction: for every attribute ``A`` and
+value ``v`` an item ``A.v`` is introduced, and the transaction for a
+record contains ``A.v`` iff the record's value for ``A`` is ``v``.
+Missing values simply contribute no item.
+
+This module provides the record/dataset containers; the record-to-
+transaction encoding itself lives in :mod:`repro.core.encoding` because
+it is part of the similarity machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+MISSING = None
+"""Sentinel for a missing attribute value (the paper's '?' marks)."""
+
+
+class CategoricalSchema:
+    """The ordered list of attribute names of a categorical dataset.
+
+    A schema is deliberately tiny: it exists so that records can be
+    validated for arity and so that characterisation output (Tables 7-9
+    of the paper) can name attributes.
+    """
+
+    def __init__(self, attributes: Sequence[str]) -> None:
+        names = list(attributes)
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate attribute names in schema")
+        if not names:
+            raise ValueError("schema must have at least one attribute")
+        self._attributes = names
+        self._index = {name: i for i, name in enumerate(names)}
+
+    @property
+    def attributes(self) -> list[str]:
+        return list(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def index(self, name: str) -> int:
+        return self._index[name]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CategoricalSchema):
+            return self._attributes == other._attributes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._attributes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CategoricalSchema({self._attributes!r})"
+
+
+class CategoricalRecord:
+    """One record: a tuple of categorical values aligned with a schema.
+
+    ``None`` (:data:`MISSING`) marks a missing value.  An optional
+    ``label`` carries ground truth (e.g. Republican/Democrat, or
+    edible/poisonous) used only for evaluation, never by the clustering
+    algorithms themselves.
+    """
+
+    __slots__ = ("schema", "values", "label", "rid")
+
+    def __init__(
+        self,
+        schema: CategoricalSchema,
+        values: Sequence[Any] | Mapping[str, Any],
+        label: Any = None,
+        rid: Any = None,
+    ) -> None:
+        if isinstance(values, Mapping):
+            row = [values.get(name, MISSING) for name in schema]
+            unknown = set(values) - set(schema.attributes)
+            if unknown:
+                raise ValueError(f"values for unknown attributes: {sorted(unknown)}")
+        else:
+            row = list(values)
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"record has {len(row)} values but schema has "
+                    f"{len(schema)} attributes"
+                )
+        self.schema = schema
+        self.values = tuple(row)
+        self.label = label
+        self.rid = rid
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self.values[self.schema.index(attribute)]
+
+    def is_missing(self, attribute: str) -> bool:
+        return self[attribute] is MISSING
+
+    def present_attributes(self) -> list[str]:
+        """Attribute names whose value is not missing."""
+        return [a for a, v in zip(self.schema, self.values) if v is not MISSING]
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        """(attribute, value) pairs for non-missing values."""
+        for a, v in zip(self.schema, self.values):
+            if v is not MISSING:
+                yield a, v
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CategoricalRecord):
+            return self.schema == other.schema and self.values == other.values
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f", label={self.label!r}" if self.label is not None else ""
+        return f"CategoricalRecord({self.values!r}{tag})"
+
+
+class CategoricalDataset(Sequence[CategoricalRecord]):
+    """A collection of categorical records sharing one schema."""
+
+    def __init__(
+        self,
+        schema: CategoricalSchema | Sequence[str],
+        records: Iterable[CategoricalRecord | Sequence[Any]] = (),
+        labels: Sequence[Any] | None = None,
+    ) -> None:
+        self.schema = (
+            schema if isinstance(schema, CategoricalSchema) else CategoricalSchema(schema)
+        )
+        rows: list[CategoricalRecord] = []
+        for i, rec in enumerate(records):
+            if isinstance(rec, CategoricalRecord):
+                if rec.schema != self.schema:
+                    raise ValueError("record schema differs from dataset schema")
+                rows.append(rec)
+            else:
+                label = labels[i] if labels is not None else None
+                rows.append(CategoricalRecord(self.schema, rec, label=label, rid=i))
+        if labels is not None and len(labels) != len(rows):
+            raise ValueError("labels length does not match number of records")
+        self._records = rows
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return CategoricalDataset(self.schema, self._records[index])
+        return self._records[index]
+
+    def __iter__(self) -> Iterator[CategoricalRecord]:
+        return iter(self._records)
+
+    def labels(self) -> list[Any]:
+        """Ground-truth labels, aligned with record order (``None`` if absent)."""
+        return [r.label for r in self._records]
+
+    def domain(self, attribute: str) -> list[Any]:
+        """Sorted distinct non-missing values observed for ``attribute``."""
+        idx = self.schema.index(attribute)
+        values = {r.values[idx] for r in self._records} - {MISSING}
+        try:
+            return sorted(values)
+        except TypeError:
+            return list(values)
+
+    def missing_fraction(self) -> float:
+        """Fraction of (record, attribute) cells that are missing."""
+        if not self._records:
+            return 0.0
+        total = len(self._records) * len(self.schema)
+        missing = sum(v is MISSING for r in self._records for v in r.values)
+        return missing / total
+
+    def subset(self, indices: Iterable[int]) -> "CategoricalDataset":
+        return CategoricalDataset(self.schema, [self._records[i] for i in indices])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CategoricalDataset(n={len(self._records)}, "
+            f"attributes={len(self.schema)})"
+        )

@@ -1,0 +1,216 @@
+"""Market-basket transactions.
+
+The paper's primary data model (Sections 1 and 3.1.1) is a database of
+*transactions*, each of which is a finite set of items.  A transaction is
+represented here as an immutable :class:`Transaction` wrapping a
+``frozenset`` of hashable items, and a database as a
+:class:`TransactionDataset`, which additionally exposes the item
+vocabulary and a dense 0/1 indicator matrix used by the vectorised
+neighbor computation and by the centroid-based baseline (Section 5:
+"we handle categorical attributes by converting them to boolean
+attributes with 0/1 values").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import Any
+
+import numpy as np
+
+Item = Hashable
+
+
+class Transaction:
+    """An immutable set of items, optionally tagged with an identifier.
+
+    Transactions compare equal (and hash) by their item set alone, so a
+    :class:`Transaction` may be used interchangeably with a plain
+    ``frozenset`` in dictionaries and set operations.
+
+    Parameters
+    ----------
+    items:
+        Any iterable of hashable items.  Duplicates collapse.
+    tid:
+        Optional external identifier (e.g. a customer id or a row
+        number).  Ignored for equality and hashing.
+    """
+
+    __slots__ = ("_items", "tid")
+
+    def __init__(self, items: Iterable[Item], tid: Any = None) -> None:
+        self._items = frozenset(items)
+        self.tid = tid
+
+    @property
+    def items(self) -> frozenset[Item]:
+        """The item set of this transaction."""
+        return self._items
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._items
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Transaction):
+            return self._items == other._items
+        if isinstance(other, (frozenset, set)):
+            return self._items == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __or__(self, other: "Transaction | frozenset[Item]") -> frozenset[Item]:
+        return self._items | _item_set(other)
+
+    def __and__(self, other: "Transaction | frozenset[Item]") -> frozenset[Item]:
+        return self._items & _item_set(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(repr(i) for i in sorted(self._items, key=repr))
+        tag = f", tid={self.tid!r}" if self.tid is not None else ""
+        return f"Transaction({{{inner}}}{tag})"
+
+    def jaccard(self, other: "Transaction | frozenset[Item]") -> float:
+        """Jaccard coefficient |T1 ∩ T2| / |T1 ∪ T2| (footnote 2 of the paper).
+
+        Two empty transactions are defined to have similarity 0.0 --
+        the paper never compares empty transactions, and treating them
+        as dissimilar keeps empty records from becoming universal
+        neighbors.
+        """
+        other_items = _item_set(other)
+        union = len(self._items | other_items)
+        if union == 0:
+            return 0.0
+        return len(self._items & other_items) / union
+
+
+def _item_set(value: "Transaction | frozenset[Item] | set[Item]") -> frozenset[Item]:
+    if isinstance(value, Transaction):
+        return value.items
+    return frozenset(value)
+
+
+class TransactionDataset(Sequence[Transaction]):
+    """An in-memory database of transactions.
+
+    The dataset owns its item *vocabulary* (the sorted union of all items,
+    by default) so that every transaction can be embedded as a 0/1 row of
+    an indicator matrix.  The indicator matrix is the substrate both for
+    the vectorised neighbor computation (set intersections become an
+    integer matrix product) and for the euclidean-distance baseline.
+
+    Parameters
+    ----------
+    transactions:
+        The transactions.  Plain iterables of items are wrapped into
+        :class:`Transaction` objects.
+    vocabulary:
+        Optional explicit item vocabulary.  When omitted, the sorted
+        union of all items is used.  Items of mixed, unsortable types
+        fall back to insertion order.
+    """
+
+    def __init__(
+        self,
+        transactions: Iterable[Transaction | Iterable[Item]],
+        vocabulary: Sequence[Item] | None = None,
+    ) -> None:
+        self._transactions: list[Transaction] = [
+            t if isinstance(t, Transaction) else Transaction(t) for t in transactions
+        ]
+        if vocabulary is None:
+            self._vocabulary = self._derive_vocabulary()
+        else:
+            self._vocabulary = list(vocabulary)
+            if len(set(self._vocabulary)) != len(self._vocabulary):
+                raise ValueError("vocabulary contains duplicate items")
+            universe = set(self._vocabulary)
+            for t in self._transactions:
+                extra = t.items - universe
+                if extra:
+                    raise ValueError(
+                        f"transaction {t!r} contains items outside the "
+                        f"vocabulary: {sorted(map(repr, extra))}"
+                    )
+        self._item_index = {item: i for i, item in enumerate(self._vocabulary)}
+        self._indicator: np.ndarray | None = None
+
+    def _derive_vocabulary(self) -> list[Item]:
+        seen: dict[Item, None] = {}
+        for t in self._transactions:
+            for item in t:
+                seen.setdefault(item, None)
+        items = list(seen)
+        try:
+            items.sort()  # type: ignore[arg-type]
+        except TypeError:
+            pass  # mixed unsortable types: keep insertion order
+        return items
+
+    # -- Sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return TransactionDataset(
+                self._transactions[index], vocabulary=self._vocabulary
+            )
+        return self._transactions[index]
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._transactions)
+
+    # -- vocabulary & matrix views ----------------------------------------
+    @property
+    def vocabulary(self) -> list[Item]:
+        """The item vocabulary, one column of the indicator matrix per item."""
+        return list(self._vocabulary)
+
+    @property
+    def n_items(self) -> int:
+        return len(self._vocabulary)
+
+    def item_index(self, item: Item) -> int:
+        """Column index of ``item`` in the indicator matrix."""
+        return self._item_index[item]
+
+    def indicator_matrix(self) -> np.ndarray:
+        """Dense ``(n_transactions, n_items)`` uint8 0/1 matrix.
+
+        Row ``i`` has a 1 in column ``j`` iff transaction ``i`` contains
+        vocabulary item ``j`` -- exactly the boolean-attribute view the
+        paper uses in Example 1.1 and for the traditional baseline.
+        The matrix is computed once and cached.
+        """
+        if self._indicator is None:
+            mat = np.zeros((len(self._transactions), len(self._vocabulary)), dtype=np.uint8)
+            for i, t in enumerate(self._transactions):
+                for item in t:
+                    mat[i, self._item_index[item]] = 1
+            self._indicator = mat
+        return self._indicator
+
+    def sizes(self) -> np.ndarray:
+        """Transaction sizes |T_i| as an int64 vector."""
+        return np.array([len(t) for t in self._transactions], dtype=np.int64)
+
+    def subset(self, indices: Iterable[int]) -> "TransactionDataset":
+        """A new dataset containing the given rows, sharing the vocabulary."""
+        rows = [self._transactions[i] for i in indices]
+        return TransactionDataset(rows, vocabulary=self._vocabulary)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransactionDataset(n={len(self._transactions)}, "
+            f"items={len(self._vocabulary)})"
+        )

@@ -1,0 +1,75 @@
+"""Data sets: the paper's synthetic generator and real-data replicas.
+
+* :mod:`repro.datasets.synthetic_basket` -- the Section 5.3 market
+  basket generator (Table 5);
+* :mod:`repro.datasets.votes` -- Congressional Votes replica (Tables 1,
+  2, 7);
+* :mod:`repro.datasets.mushroom` -- UCI Mushroom replica (Tables 1, 3,
+  8, 9);
+* :mod:`repro.datasets.mutualfunds` -- U.S. mutual funds time-series
+  replica (Tables 1, 4).
+
+See DESIGN.md section 1.2 for the substitution rationale (the original
+real-life data sets are not downloadable offline; replicas are
+generated from the statistics the paper publishes).
+"""
+
+from repro.datasets.mushroom import (
+    ATTRIBUTES as MUSHROOM_ATTRIBUTES,
+    EDIBLE,
+    POISONOUS,
+    TABLE3_ROCK_CLUSTERS,
+    MushroomData,
+    generate_mushroom,
+    small_mushroom,
+)
+from repro.datasets.mutualfunds import (
+    N_PAIR_CLUSTERS,
+    TABLE4_GROUPS,
+    MutualFundData,
+    generate_mutual_funds,
+)
+from repro.datasets.synthetic_basket import (
+    TABLE5_CLUSTER_SIZES,
+    TABLE5_ITEMS_PER_CLUSTER,
+    TABLE5_OUTLIERS,
+    SyntheticBasket,
+    SyntheticBasketConfig,
+    generate_synthetic_basket,
+    small_synthetic_basket,
+)
+from repro.datasets.votes import (
+    DEMOCRAT,
+    N_DEMOCRATS,
+    N_REPUBLICANS,
+    REPUBLICAN,
+    VOTE_ISSUES,
+    generate_votes,
+)
+
+__all__ = [
+    "DEMOCRAT",
+    "EDIBLE",
+    "MUSHROOM_ATTRIBUTES",
+    "MushroomData",
+    "MutualFundData",
+    "N_DEMOCRATS",
+    "N_PAIR_CLUSTERS",
+    "N_REPUBLICANS",
+    "POISONOUS",
+    "REPUBLICAN",
+    "SyntheticBasket",
+    "SyntheticBasketConfig",
+    "TABLE3_ROCK_CLUSTERS",
+    "TABLE4_GROUPS",
+    "TABLE5_CLUSTER_SIZES",
+    "TABLE5_ITEMS_PER_CLUSTER",
+    "TABLE5_OUTLIERS",
+    "VOTE_ISSUES",
+    "generate_mushroom",
+    "generate_mutual_funds",
+    "generate_synthetic_basket",
+    "generate_votes",
+    "small_mushroom",
+    "small_synthetic_basket",
+]

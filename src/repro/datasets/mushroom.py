@@ -1,0 +1,421 @@
+"""Generative replica of the UCI Mushroom data set.
+
+The original data (8,124 records, 22 categorical attributes, 4,208
+edible / 3,916 poisonous) is not downloadable offline.  The replica is
+parameterised by what the paper publishes about its structure:
+
+* Table 3's ROCK result -- 21 sub-clusters with exact sizes from 8 to
+  1,728, each pure edible or pure poisonous except one mixed cluster of
+  32 edible + 72 poisonous -- is taken as the *latent* cluster structure
+  the generator plants;
+* Tables 8-9's cluster profiles -- within a sub-cluster most attributes
+  are constant while a handful vary over 2-3 values, and different
+  sub-clusters share many attribute values (clusters are "not
+  well-separated" in the paper's words) -- shape the per-cluster value
+  distributions;
+* the paper's observation that odor alone separates the classes
+  (none/anise/almond vs foul/fishy/spicy/...) is built in exactly.
+
+Separation is engineered at two scales so that the replica is
+*link-separable but euclidean-confusable*, which is exactly the regime
+Table 3 demonstrates:
+
+* each cluster is a **chain of modes**: consecutive modes differ in
+  exactly 2 of the cluster's chain attributes (so consecutive-mode
+  records are Jaccard-0.8 neighbors and the cluster is link-connected),
+  while the chain's extreme modes differ in up to 8 attributes -- two
+  records of one cluster can be far apart yet "linked by a number of
+  other transactions", the paper's Section 1.1 geometry;
+* clusters are grouped into **families** of two siblings (paired with
+  opposite classes where possible).  Siblings share their chain and all
+  non-identity attributes and differ deterministically in only 2
+  identity attributes plus odor.  A sibling's same-position mode is
+  therefore *closer in euclidean space* than the far modes of a
+  record's own cluster -- which is what drives the centroid baseline to
+  split chains and merge opposite-class siblings, as in Table 3;
+* different families get codewords of a Reed-Solomon-style code over
+  four many-valued "identity" attributes (pairwise distance >= 3).
+
+Any two records from different clusters differ on at least 3
+attributes, capping their ``A.v`` Jaccard at 19/25 < 0.8 -- at the
+paper's theta = 0.8 the latent clusters are exactly the link-connected
+components ROCK should discover.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.records import MISSING, CategoricalDataset, CategoricalRecord, CategoricalSchema
+
+EDIBLE = "edible"
+POISONOUS = "poisonous"
+
+# (edible_count, poisonous_count) per latent sub-cluster -- Table 3, ROCK side.
+TABLE3_ROCK_CLUSTERS: tuple[tuple[int, int], ...] = (
+    (96, 0), (0, 256), (704, 0), (96, 0), (768, 0), (0, 192), (1728, 0),
+    (0, 32), (0, 1296), (0, 8), (48, 0), (48, 0), (0, 288), (192, 0),
+    (32, 72), (0, 1728), (288, 0), (0, 8), (192, 0), (16, 0), (0, 36),
+)
+
+ATTRIBUTES = (
+    "cap-shape", "cap-surface", "cap-color", "bruises", "odor",
+    "gill-attachment", "gill-spacing", "gill-size", "gill-color",
+    "stalk-shape", "stalk-root", "stalk-surface-above-ring",
+    "stalk-surface-below-ring", "stalk-color-above-ring",
+    "stalk-color-below-ring", "veil-type", "veil-color", "ring-number",
+    "ring-type", "spore-print-color", "population", "habitat",
+)
+
+VALUE_POOLS: dict[str, tuple[str, ...]] = {
+    "cap-shape": ("bell", "conical", "convex", "flat", "knobbed", "sunken"),
+    "cap-surface": ("fibrous", "grooves", "scaly", "smooth"),
+    "cap-color": ("brown", "buff", "cinnamon", "gray", "green", "pink",
+                  "purple", "red", "white", "yellow"),
+    "bruises": ("bruises", "no"),
+    "odor": ("almond", "anise", "creosote", "fishy", "foul", "musty",
+             "none", "pungent", "spicy"),
+    "gill-attachment": ("attached", "free"),
+    "gill-spacing": ("close", "crowded"),
+    "gill-size": ("broad", "narrow"),
+    "gill-color": ("black", "brown", "buff", "chocolate", "gray", "green",
+                   "orange", "pink", "purple", "red", "white", "yellow"),
+    "stalk-shape": ("enlarging", "tapering"),
+    "stalk-root": ("bulbous", "club", "equal", "rooted", "rhizomorphs"),
+    "stalk-surface-above-ring": ("fibrous", "scaly", "silky", "smooth"),
+    "stalk-surface-below-ring": ("fibrous", "scaly", "silky", "smooth"),
+    "stalk-color-above-ring": ("brown", "buff", "cinnamon", "gray", "orange",
+                               "pink", "red", "white", "yellow"),
+    "stalk-color-below-ring": ("brown", "buff", "cinnamon", "gray", "orange",
+                               "pink", "red", "white", "yellow"),
+    "veil-type": ("partial",),
+    "veil-color": ("brown", "orange", "white", "yellow"),
+    "ring-number": ("none", "one", "two"),
+    "ring-type": ("evanescent", "flaring", "large", "none", "pendant"),
+    "spore-print-color": ("black", "brown", "buff", "chocolate", "green",
+                          "orange", "purple", "white", "yellow"),
+    "population": ("abundant", "clustered", "numerous", "scattered",
+                   "several", "solitary"),
+    "habitat": ("grasses", "leaves", "meadows", "paths", "urban",
+                "waste", "woods"),
+}
+
+EDIBLE_ODORS = ("none", "anise", "almond")
+POISONOUS_ODORS = ("foul", "fishy", "spicy", "pungent", "creosote", "musty")
+
+# six attributes with >= 5 values carry the separating code: the first
+# four hold the family codeword (pairwise distance >= 3 across
+# families), the last two hold the sibling offset (distance 2 between
+# siblings of one family)
+IDENTITY_ATTRIBUTES = (
+    "cap-color", "gill-color", "stalk-color-above-ring",
+    "spore-print-color", "habitat", "stalk-color-below-ring",
+)
+FAMILY_CODE_LENGTH = 4
+# attributes shared by every record (the "not well-separated" overlap)
+CONSTANT_ATTRIBUTES = {
+    "veil-type": "partial",
+    "veil-color": "white",
+    "gill-attachment": "free",
+    "ring-number": "one",
+}
+# the remaining 12 attributes vary within clusters
+VARIABLE_ATTRIBUTES = tuple(
+    a
+    for a in ATTRIBUTES
+    if a not in IDENTITY_ATTRIBUTES and a not in CONSTANT_ATTRIBUTES and a != "odor"
+)
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """The generative recipe for one latent sub-cluster.
+
+    A record is drawn by sampling every attribute from ``distributions``
+    (a 1-tuple of values is deterministic), then overlaying one of the
+    cluster's ``modes`` -- a dict of chain-attribute values chosen
+    uniformly.  Consecutive modes differ in exactly 2 attributes.
+    """
+
+    index: int
+    n_edible: int
+    n_poisonous: int
+    # attribute -> (values, weights); a 1-tuple of values is deterministic
+    distributions: dict[str, tuple[tuple[str, ...], tuple[float, ...]]]
+    # the mode chain; always at least one (possibly empty) mode dict
+    modes: tuple[dict[str, str], ...] = ({},)
+
+    @property
+    def size(self) -> int:
+        return self.n_edible + self.n_poisonous
+
+    @property
+    def is_mixed(self) -> bool:
+        return self.n_edible > 0 and self.n_poisonous > 0
+
+
+def _codeword(family: int, member: int) -> tuple[int, int, int, int, int, int]:
+    """Identity values (as symbols 0..4) for one cluster.
+
+    The first :data:`FAMILY_CODE_LENGTH` coordinates evaluate the
+    degree-1 polynomial ``a + b t`` over GF(5) at ``t = 0..3``; two
+    distinct lines agree on at most one point, so any two families
+    differ in at least 3 of these coordinates.  The final two
+    coordinates carry the sibling offset: member 1 of a family shifts
+    them by (1, 2), so siblings differ in exactly those two coordinates
+    (plus odor, for opposite-class siblings) -- close in euclidean
+    space, but never Jaccard-0.8 neighbors.
+    """
+    a, b = divmod(family, 5)
+    if a >= 5:
+        raise ValueError("the identity code supports at most 25 families")
+    if member not in (0, 1):
+        raise ValueError("families have at most two sibling clusters")
+    base = [(a + b * t) % 5 for t in range(FAMILY_CODE_LENGTH)]
+    sibling = [(a + member) % 5, (b + 2 * member) % 5]
+    return tuple(base + sibling)  # type: ignore[return-value]
+
+
+N_NOISE_ATTRIBUTES = 2
+NOISE_FLIP_PROBABILITY = 0.2
+
+
+def _chain_steps(size: int) -> int:
+    """Chain length (number of 2-attribute steps) by cluster size.
+
+    Larger clusters are internally more diverse, per Tables 8-9: a big
+    cluster's chain spans 5 modes whose extremes differ in 8 attributes
+    (0/1 euclidean distance^2 = 16), far beyond the 6 separating it from
+    its opposite-class sibling -- the confusability that defeats the
+    centroid baseline.  Consecutive modes differ in exactly 2
+    attributes, keeping the cluster link-connected at theta = 0.8.
+    """
+    if size < 100:
+        return 1
+    if size < 1000:
+        return 3
+    return 4
+
+
+def _build_chain(
+    steps: int, rng: random.Random
+) -> tuple[tuple[dict[str, str], ...], set[str]]:
+    """A mode chain over ``2 * steps`` chain attributes.
+
+    Mode ``t`` flips the first ``2t`` chain attributes from their A
+    value to their B value, so consecutive modes differ in exactly 2
+    attributes and modes ``i``, ``j`` differ in ``2 |i - j|``.
+    """
+    chain_attributes = rng.sample(VARIABLE_ATTRIBUTES, 2 * steps)
+    values = {
+        attribute: tuple(rng.sample(VALUE_POOLS[attribute], 2))
+        for attribute in chain_attributes
+    }
+    modes = []
+    for t in range(steps + 1):
+        mode = {
+            attribute: values[attribute][1 if position < 2 * t else 0]
+            for position, attribute in enumerate(chain_attributes)
+        }
+        modes.append(mode)
+    return tuple(modes), set(chain_attributes)
+
+
+def _assign_families(
+    cluster_spec: tuple[tuple[int, int], ...]
+) -> list[tuple[int, int]]:
+    """Pair pure clusters of opposite classes into two-member families.
+
+    Returns ``(family, member)`` per cluster.  Pairing edible with
+    poisonous siblings puts confusable-for-euclidean clusters of
+    *different* classes next to each other, which is what lets the
+    centroid baseline produce the mixed clusters of Table 3.  Mixed and
+    unpaired clusters become single-member families.
+    """
+    edible = [i for i, (e, p) in enumerate(cluster_spec) if e and not p]
+    poisonous = [i for i, (e, p) in enumerate(cluster_spec) if p and not e]
+    mixed = [i for i, (e, p) in enumerate(cluster_spec) if e and p]
+    assignment: dict[int, tuple[int, int]] = {}
+    family = 0
+    for a, b in zip(edible, poisonous):
+        assignment[a] = (family, 0)
+        assignment[b] = (family, 1)
+        family += 1
+    leftovers = edible[len(poisonous):] + poisonous[len(edible):] + mixed
+    for index in leftovers:
+        assignment[index] = (family, 0)
+        family += 1
+    if family > 25:
+        raise ValueError("the identity code supports at most 25 families")
+    return [assignment[i] for i in range(len(cluster_spec))]
+
+
+def build_profiles(
+    cluster_spec: tuple[tuple[int, int], ...] = TABLE3_ROCK_CLUSTERS,
+    seed: int | None = 0,
+) -> list[ClusterProfile]:
+    """Construct the per-cluster generative profiles."""
+    for index, (n_edible, n_poisonous) in enumerate(cluster_spec):
+        if n_edible < 0 or n_poisonous < 0 or n_edible + n_poisonous == 0:
+            raise ValueError(f"cluster {index} has invalid counts")
+    rng = random.Random(seed)
+    families = _assign_families(cluster_spec)
+
+    # family-shared non-identity profiles: siblings are euclidean-
+    # confusable precisely because they share the same mode chain, noise
+    # attributes, and constants
+    family_size: dict[int, int] = {}
+    for (family, _), (n_e, n_p) in zip(families, cluster_spec):
+        family_size[family] = max(family_size.get(family, 0), n_e + n_p)
+    family_variable: dict[int, dict[str, tuple[tuple[str, ...], tuple[float, ...]]]] = {}
+    family_modes: dict[int, tuple[dict[str, str], ...]] = {}
+    for family in sorted(family_size):
+        modes, chain_attributes = _build_chain(
+            _chain_steps(family_size[family]), rng
+        )
+        family_modes[family] = modes
+        remaining = [a for a in VARIABLE_ATTRIBUTES if a not in chain_attributes]
+        noisy = set(rng.sample(remaining, min(N_NOISE_ATTRIBUTES, len(remaining))))
+        dist: dict[str, tuple[tuple[str, ...], tuple[float, ...]]] = {}
+        for attribute in remaining:
+            pool = VALUE_POOLS[attribute]
+            if attribute in noisy:
+                values = tuple(rng.sample(pool, 2))
+                dist[attribute] = (
+                    values,
+                    (1.0 - NOISE_FLIP_PROBABILITY, NOISE_FLIP_PROBABILITY),
+                )
+            else:
+                dist[attribute] = ((rng.choice(pool),), (1.0,))
+        family_variable[family] = dist
+
+    profiles: list[ClusterProfile] = []
+    edible_rotation = 0
+    poisonous_rotation = 0
+    for index, (n_edible, n_poisonous) in enumerate(cluster_spec):
+        family, member = families[index]
+        dist = {}
+        for attribute, value in CONSTANT_ATTRIBUTES.items():
+            dist[attribute] = ((value,), (1.0,))
+        dist.update(family_variable[family])
+        code = _codeword(family, member)
+        for attribute, symbol in zip(IDENTITY_ATTRIBUTES, code):
+            dist[attribute] = ((VALUE_POOLS[attribute][symbol],), (1.0,))
+        # odor: deterministic from the class pool (mixed cluster handled
+        # at record-draw time, see generate_mushroom)
+        if n_edible and n_poisonous:
+            p_edible = n_edible / (n_edible + n_poisonous)
+            dist["odor"] = (
+                (EDIBLE_ODORS[edible_rotation % len(EDIBLE_ODORS)],
+                 POISONOUS_ODORS[poisonous_rotation % len(POISONOUS_ODORS)]),
+                (p_edible, 1.0 - p_edible),
+            )
+            edible_rotation += 1
+            poisonous_rotation += 1
+        elif n_edible:
+            dist["odor"] = ((EDIBLE_ODORS[edible_rotation % len(EDIBLE_ODORS)],), (1.0,))
+            edible_rotation += 1
+        else:
+            dist["odor"] = (
+                (POISONOUS_ODORS[poisonous_rotation % len(POISONOUS_ODORS)],), (1.0,)
+            )
+            poisonous_rotation += 1
+        profiles.append(
+            ClusterProfile(
+                index=index,
+                n_edible=n_edible,
+                n_poisonous=n_poisonous,
+                distributions=dist,
+                modes=family_modes[family],
+            )
+        )
+    return profiles
+
+
+@dataclass
+class MushroomData:
+    """The generated replica with its two levels of ground truth."""
+
+    dataset: CategoricalDataset
+    class_labels: list[str]      # edible / poisonous per record
+    cluster_labels: list[int]    # latent sub-cluster per record
+    profiles: list[ClusterProfile]
+
+
+def generate_mushroom(
+    cluster_spec: tuple[tuple[int, int], ...] = TABLE3_ROCK_CLUSTERS,
+    missing_stalk_root_rate: float = 0.01,
+    seed: int | None = 0,
+) -> MushroomData:
+    """Generate the mushroom replica (8,124 records by default).
+
+    Record classes are carried as dataset labels; the latent sub-cluster
+    assignment is returned separately for evaluation.  ``stalk-root``
+    cells go missing at a small rate, mirroring the real data's only
+    missing-value column.
+    """
+    if not 0.0 <= missing_stalk_root_rate < 1.0:
+        raise ValueError("missing_stalk_root_rate must be in [0, 1)")
+    rng = random.Random(seed)
+    profiles = build_profiles(cluster_spec, seed=seed)
+    schema = CategoricalSchema(list(ATTRIBUTES))
+    stalk_root_index = schema.index("stalk-root")
+    odor_index = schema.index("odor")
+
+    plan: list[int] = []
+    for profile in profiles:
+        plan.extend([profile.index] * profile.size)
+    rng.shuffle(plan)
+
+    records: list[CategoricalRecord] = []
+    cluster_labels: list[int] = []
+    class_labels: list[str] = []
+    # track per-cluster class quotas so mixed clusters hit exact counts
+    quota = {p.index: [p.n_edible, p.n_poisonous] for p in profiles}
+    for rid, cluster in enumerate(plan):
+        profile = profiles[cluster]
+        mode = profile.modes[rng.randrange(len(profile.modes))]
+        values: list[object] = []
+        for attribute in schema:
+            if attribute in mode:
+                values.append(mode[attribute])
+                continue
+            choices, weights = profile.distributions[attribute]
+            if attribute == "odor" and profile.is_mixed:
+                # honour exact class quotas instead of sampling
+                remaining_e, remaining_p = quota[cluster]
+                take_edible = rng.random() < remaining_e / (remaining_e + remaining_p)
+                values.append(choices[0] if take_edible else choices[1])
+            elif len(choices) == 1:
+                values.append(choices[0])
+            else:
+                values.append(rng.choices(choices, weights=weights)[0])
+        if rng.random() < missing_stalk_root_rate:
+            values[stalk_root_index] = MISSING
+        odor = values[odor_index]
+        label = EDIBLE if odor in EDIBLE_ODORS else POISONOUS
+        if label == EDIBLE:
+            quota[cluster][0] -= 1
+        else:
+            quota[cluster][1] -= 1
+        records.append(CategoricalRecord(schema, values, label=label, rid=rid))
+        cluster_labels.append(cluster)
+        class_labels.append(label)
+
+    dataset = CategoricalDataset(schema, records)
+    return MushroomData(
+        dataset=dataset,
+        class_labels=class_labels,
+        cluster_labels=cluster_labels,
+        profiles=profiles,
+    )
+
+
+def small_mushroom(seed: int | None = 0) -> MushroomData:
+    """A scaled-down replica (same 21-cluster structure, ~1/8 the records)."""
+    spec = tuple(
+        (max(1, e // 8) if e else 0, max(1, p // 8) if p else 0)
+        for e, p in TABLE3_ROCK_CLUSTERS
+    )
+    return generate_mushroom(cluster_spec=spec, seed=seed)

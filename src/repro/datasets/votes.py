@@ -1,0 +1,138 @@
+"""Generative replica of the 1984 Congressional Votes data set.
+
+The original UCI data set (435 records -- 168 Republicans and 267
+Democrats -- over 16 boolean issues, few missing values) is not
+downloadable in this offline environment.  This module rebuilds a
+statistically faithful replica from the numbers the paper itself
+publishes: Table 1's record/class counts and Table 7's per-issue
+majority-vote frequencies for the two discovered clusters.
+
+Each issue is generated as an independent Bernoulli draw per party with
+the Table 7 majority probability (the one issue Table 7 omits for
+Democrats -- water-project-cost-sharing -- is an even split in the real
+data and is generated at 0.5).  This preserves exactly the geometry the
+paper's experiment depends on: two roughly balanced, well-separated
+clusters whose majorities differ on 12-13 of 16 issues and agree on ~3.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.records import MISSING, CategoricalDataset, CategoricalRecord, CategoricalSchema
+
+N_REPUBLICANS = 168
+N_DEMOCRATS = 267
+
+# The 16 issues of the UCI data set, in its column order.
+VOTE_ISSUES = (
+    "handicapped-infants",
+    "water-project-cost-sharing",
+    "adoption-of-the-budget-resolution",
+    "physician-fee-freeze",
+    "el-salvador-aid",
+    "religious-groups-in-schools",
+    "anti-satellite-test-ban",
+    "aid-to-nicaraguan-contras",
+    "mx-missile",
+    "immigration",
+    "synfuels-corporation-cutback",
+    "education-spending",
+    "superfund-right-to-sue",
+    "crime",
+    "duty-free-exports",
+    "export-administration-act-south-africa",
+)
+
+# P(vote == 'y') per issue, from the Table 7 (value, support) pairs:
+# a majority 'n' with support s becomes P(y) = 1 - s.
+REPUBLICAN_P_YES = {
+    "immigration": 0.51,
+    "export-administration-act-south-africa": 0.55,
+    "synfuels-corporation-cutback": 1 - 0.77,
+    "adoption-of-the-budget-resolution": 1 - 0.87,
+    "physician-fee-freeze": 0.92,
+    "el-salvador-aid": 0.99,
+    "religious-groups-in-schools": 0.93,
+    "anti-satellite-test-ban": 1 - 0.84,
+    "aid-to-nicaraguan-contras": 1 - 0.90,
+    "mx-missile": 1 - 0.93,
+    "education-spending": 0.86,
+    "crime": 0.98,
+    "duty-free-exports": 1 - 0.89,
+    "handicapped-infants": 1 - 0.85,
+    "superfund-right-to-sue": 0.90,
+    "water-project-cost-sharing": 0.51,
+}
+
+DEMOCRAT_P_YES = {
+    "immigration": 0.51,
+    "export-administration-act-south-africa": 0.70,
+    "synfuels-corporation-cutback": 1 - 0.56,
+    "adoption-of-the-budget-resolution": 0.94,
+    "physician-fee-freeze": 1 - 0.96,
+    "el-salvador-aid": 1 - 0.92,
+    "religious-groups-in-schools": 1 - 0.67,
+    "anti-satellite-test-ban": 0.89,
+    "aid-to-nicaraguan-contras": 0.97,
+    "mx-missile": 0.86,
+    "education-spending": 1 - 0.90,
+    "crime": 1 - 0.73,
+    "duty-free-exports": 0.68,
+    "handicapped-infants": 0.65,
+    "superfund-right-to-sue": 1 - 0.79,
+    # Table 7 lists no majority for Democrats on water projects -- the
+    # real data is an even split, so the replica draws at 0.5.
+    "water-project-cost-sharing": 0.50,
+}
+
+REPUBLICAN = "republican"
+DEMOCRAT = "democrat"
+
+
+def generate_votes(
+    n_republicans: int = N_REPUBLICANS,
+    n_democrats: int = N_DEMOCRATS,
+    missing_rate: float = 0.03,
+    moderate_fraction: float = 0.15,
+    seed: int | None = 0,
+) -> CategoricalDataset:
+    """Generate the votes replica.
+
+    ``missing_rate`` is the per-cell probability of a missing vote
+    ("very few" in the paper's Table 1; the default keeps it small).
+    ``moderate_fraction`` of each party's members vote from a 50/50
+    blend of the two party profiles -- the real data's cross-voting
+    moderates, who are what contaminates the traditional algorithm's
+    clusters in Table 2 (52 Democrats landing in the Republican
+    cluster).  Records are shuffled so party blocks are interleaved.
+    """
+    if n_republicans < 0 or n_democrats < 0:
+        raise ValueError("counts must be non-negative")
+    if not 0.0 <= missing_rate < 1.0:
+        raise ValueError("missing_rate must be in [0, 1)")
+    if not 0.0 <= moderate_fraction <= 1.0:
+        raise ValueError("moderate_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    schema = CategoricalSchema(list(VOTE_ISSUES))
+    blended = {
+        issue: (REPUBLICAN_P_YES[issue] + DEMOCRAT_P_YES[issue]) / 2.0
+        for issue in VOTE_ISSUES
+    }
+
+    def draw(p_yes: dict[str, float], label: str, rid: int) -> CategoricalRecord:
+        profile = blended if rng.random() < moderate_fraction else p_yes
+        values = []
+        for issue in schema:
+            if rng.random() < missing_rate:
+                values.append(MISSING)
+            else:
+                values.append("y" if rng.random() < profile[issue] else "n")
+        return CategoricalRecord(schema, values, label=label, rid=rid)
+
+    records = [draw(REPUBLICAN_P_YES, REPUBLICAN, i) for i in range(n_republicans)]
+    records += [
+        draw(DEMOCRAT_P_YES, DEMOCRAT, n_republicans + i) for i in range(n_democrats)
+    ]
+    rng.shuffle(records)
+    return CategoricalDataset(schema, records)

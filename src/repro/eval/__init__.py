@@ -1,0 +1,46 @@
+"""Evaluation: clustering metrics, cluster characterisation, reporting."""
+
+from repro.eval.characterize import (
+    AttributeValueSupport,
+    characterize_cluster,
+    characterize_clustering,
+    distinguishing_attributes,
+    shared_majority_attributes,
+)
+from repro.eval.metrics import (
+    adjusted_rand_index,
+    class_composition,
+    cluster_purities,
+    confusion_matrix,
+    contingency_table,
+    misclassified_count,
+    normalized_mutual_information,
+    purity,
+    size_statistics,
+)
+from repro.eval.report import clustering_report
+from repro.eval.reporting import format_composition_table, format_table
+from repro.eval.stability import StabilityReport, noise_robustness, stability_analysis
+
+__all__ = [
+    "AttributeValueSupport",
+    "adjusted_rand_index",
+    "characterize_cluster",
+    "characterize_clustering",
+    "class_composition",
+    "clustering_report",
+    "cluster_purities",
+    "confusion_matrix",
+    "contingency_table",
+    "distinguishing_attributes",
+    "format_composition_table",
+    "format_table",
+    "misclassified_count",
+    "normalized_mutual_information",
+    "purity",
+    "shared_majority_attributes",
+    "size_statistics",
+    "StabilityReport",
+    "noise_robustness",
+    "stability_analysis",
+]

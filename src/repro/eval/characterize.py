@@ -1,0 +1,127 @@
+"""Cluster characterisation (Tables 7-9 of the paper).
+
+The paper describes each discovered cluster by its frequent attribute
+values: triples ``(attribute, value, support)`` where support is the
+fraction of the cluster's records carrying that value.  Table 7 lists
+them for the two voting clusters; Tables 8-9 for the large mushroom
+clusters.  This module regenerates those descriptions from any
+clustering over a :class:`~repro.data.records.CategoricalDataset`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.data.records import MISSING, CategoricalDataset
+
+
+@dataclass(frozen=True)
+class AttributeValueSupport:
+    """One characterisation entry: ``(attribute, value, support)``."""
+
+    attribute: str
+    value: Any
+    support: float
+
+    def __str__(self) -> str:
+        return f"({self.attribute},{self.value},{self.support:.2g})"
+
+
+def characterize_cluster(
+    dataset: CategoricalDataset,
+    cluster: Sequence[int],
+    min_support: float = 0.5,
+) -> list[AttributeValueSupport]:
+    """Frequent (attribute, value) pairs of one cluster.
+
+    Support is measured over the whole cluster (records missing the
+    attribute count in the denominator, as the paper's Table 7
+    frequencies do).  Entries are reported in schema order, most
+    supported value first within an attribute; only values with support
+    at least ``min_support`` appear.
+    """
+    if not cluster:
+        raise ValueError("cluster must be non-empty")
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must be in (0, 1]")
+    size = len(cluster)
+    out: list[AttributeValueSupport] = []
+    for attribute in dataset.schema:
+        idx = dataset.schema.index(attribute)
+        counts: Counter[Any] = Counter()
+        for p in cluster:
+            value = dataset[p].values[idx]
+            if value is not MISSING:
+                counts[value] += 1
+        for value, count in sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0]))):
+            support = count / size
+            if support >= min_support:
+                out.append(AttributeValueSupport(attribute, value, support))
+    return out
+
+
+def characterize_clustering(
+    dataset: CategoricalDataset,
+    clusters: Sequence[Sequence[int]],
+    min_support: float = 0.5,
+) -> list[list[AttributeValueSupport]]:
+    """Characterise every cluster (one list of entries per cluster)."""
+    return [
+        characterize_cluster(dataset, cluster, min_support=min_support)
+        for cluster in clusters
+    ]
+
+
+def distinguishing_attributes(
+    dataset: CategoricalDataset,
+    cluster_a: Sequence[int],
+    cluster_b: Sequence[int],
+    min_support: float = 0.5,
+) -> list[str]:
+    """Attributes whose majority value differs between two clusters.
+
+    The paper's Table 7 commentary: "on 12 of the remaining 13 issues,
+    the majority of the Democrats voted differently from the majority of
+    the Republicans" -- this function computes that comparison.
+    """
+    profile_a = {
+        e.attribute: e.value
+        for e in characterize_cluster(dataset, cluster_a, min_support)
+    }
+    profile_b = {
+        e.attribute: e.value
+        for e in characterize_cluster(dataset, cluster_b, min_support)
+    }
+    differing = []
+    for attribute in dataset.schema:
+        if attribute in profile_a and attribute in profile_b:
+            if profile_a[attribute] != profile_b[attribute]:
+                differing.append(attribute)
+    return differing
+
+
+def shared_majority_attributes(
+    dataset: CategoricalDataset,
+    cluster_a: Sequence[int],
+    cluster_b: Sequence[int],
+    min_support: float = 0.5,
+) -> list[str]:
+    """Attributes on which the two clusters' majorities agree."""
+    profile_a = {
+        e.attribute: e.value
+        for e in characterize_cluster(dataset, cluster_a, min_support)
+    }
+    profile_b = {
+        e.attribute: e.value
+        for e in characterize_cluster(dataset, cluster_b, min_support)
+    }
+    return [
+        attribute
+        for attribute in dataset.schema
+        if attribute in profile_a
+        and attribute in profile_b
+        and profile_a[attribute] == profile_b[attribute]
+    ]

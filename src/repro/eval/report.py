@@ -1,0 +1,137 @@
+"""Markdown experiment reports for clustering runs.
+
+Bundles the per-run readouts scattered across :mod:`repro.eval` into one
+document: run parameters, cluster size table, class composition against
+ground truth (when available), quality metrics, and per-cluster
+frequent-value characterisation (for categorical data) -- i.e. the
+Table 2/3 + Table 7-9 package the paper prints per experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.core.pipeline import PipelineResult
+from repro.data.records import CategoricalDataset
+from repro.eval.characterize import characterize_cluster
+from repro.eval.metrics import (
+    adjusted_rand_index,
+    class_composition,
+    cluster_purities,
+    normalized_mutual_information,
+    purity,
+)
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        lines.append("| " + " | ".join(cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def clustering_report(
+    result: PipelineResult,
+    truth: Sequence[Any] | None = None,
+    dataset: CategoricalDataset | None = None,
+    title: str = "ROCK clustering report",
+    parameters: dict[str, Any] | None = None,
+    max_characterized_clusters: int = 5,
+    min_support: float = 0.5,
+) -> str:
+    """Render a full markdown report for one pipeline run.
+
+    Parameters
+    ----------
+    result:
+        The pipeline outcome.
+    truth:
+        Optional ground-truth labels aligned with the input points;
+        enables composition and quality sections.
+    dataset:
+        The categorical dataset that was clustered, when applicable;
+        enables the characterisation section.
+    parameters:
+        Run parameters to record (theta, k, sample size, ...).
+    """
+    sections: list[str] = [f"# {title}", ""]
+
+    if parameters:
+        sections.append("## Parameters")
+        sections.append(
+            _markdown_table(
+                ["parameter", "value"],
+                [[k, v] for k, v in sorted(parameters.items())],
+            )
+        )
+        sections.append("")
+
+    sections.append("## Clusters")
+    n_points = len(result.labels)
+    n_outliers = int((result.labels == -1).sum())
+    overview_rows = [
+        ["points", n_points],
+        ["clusters", result.n_clusters],
+        ["outliers / unassigned", n_outliers],
+        ["sampled points", len(result.sample_indices)],
+    ]
+    sections.append(_markdown_table(["measure", "value"], overview_rows))
+    sections.append("")
+
+    if truth is not None:
+        if len(truth) != n_points:
+            raise ValueError("truth labels must align with the clustered points")
+        composition = class_composition(result.clusters, truth)
+        classes = sorted({t for t in truth}, key=repr)
+        comp_rows = [
+            [i + 1, len(result.clusters[i])]
+            + [counts.get(c, 0) for c in classes]
+            for i, counts in enumerate(composition)
+        ]
+        sections.append("## Composition vs ground truth")
+        sections.append(
+            _markdown_table(
+                ["cluster", "size"] + [str(c) for c in classes], comp_rows
+            )
+        )
+        sections.append("")
+        purities = cluster_purities(result.clusters, truth)
+        pred = [int(l) for l in result.labels]
+        quality_rows = [
+            ["purity", purity(result.clusters, truth)],
+            ["pure clusters", sum(1 for p in purities if p == 1.0)],
+            ["adjusted Rand index", adjusted_rand_index(list(truth), pred)],
+            ["NMI", normalized_mutual_information(list(truth), pred)],
+        ]
+        sections.append("## Quality")
+        sections.append(_markdown_table(["metric", "value"], quality_rows))
+        sections.append("")
+
+    if dataset is not None:
+        sections.append("## Cluster characteristics")
+        for i, cluster in enumerate(result.clusters[:max_characterized_clusters]):
+            entries = characterize_cluster(dataset, cluster, min_support=min_support)
+            sections.append(f"### Cluster {i + 1} (n={len(cluster)})")
+            if entries:
+                sections.append(
+                    _markdown_table(
+                        ["attribute", "value", "support"],
+                        [[e.attribute, e.value, e.support] for e in entries],
+                    )
+                )
+            else:
+                sections.append(f"*no value reaches support {min_support}*")
+            sections.append("")
+
+    return "\n".join(sections).rstrip() + "\n"

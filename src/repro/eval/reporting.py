@@ -1,0 +1,61 @@
+"""Plain-text table rendering for benches and examples.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module holds the tiny formatting helpers so every bench renders
+consistently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified; floats keep a short fixed precision so the
+    bench output diff-compares cleanly between runs.
+    """
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in text_rows)) if text_rows else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_composition_table(
+    composition: Sequence[dict[Any, int]],
+    classes: Sequence[Any],
+    title: str | None = None,
+) -> str:
+    """Render per-cluster class counts in the layout of Tables 2 and 3."""
+    headers = ["Cluster No"] + [f"No of {c}" for c in classes]
+    rows = [
+        [i + 1] + [counts.get(c, 0) for c in classes]
+        for i, counts in enumerate(composition)
+    ]
+    return format_table(headers, rows, title=title)

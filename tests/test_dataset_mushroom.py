@@ -1,0 +1,241 @@
+"""Tests for the mushroom replica generator."""
+
+import pytest
+
+from repro.core.encoding import record_to_transaction
+from repro.datasets.mushroom import (
+    ATTRIBUTES,
+    EDIBLE,
+    EDIBLE_ODORS,
+    IDENTITY_ATTRIBUTES,
+    POISONOUS,
+    POISONOUS_ODORS,
+    TABLE3_ROCK_CLUSTERS,
+    build_profiles,
+    generate_mushroom,
+    small_mushroom,
+    _codeword,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return small_mushroom(seed=0)
+
+
+class TestSpec:
+    def test_table3_totals(self):
+        assert sum(e for e, _ in TABLE3_ROCK_CLUSTERS) == 4208
+        assert sum(p for _, p in TABLE3_ROCK_CLUSTERS) == 3916
+        assert sum(e + p for e, p in TABLE3_ROCK_CLUSTERS) == 8124
+        assert len(TABLE3_ROCK_CLUSTERS) == 21
+
+    def test_exactly_one_mixed_cluster(self):
+        mixed = [(e, p) for e, p in TABLE3_ROCK_CLUSTERS if e and p]
+        assert mixed == [(32, 72)]
+
+    def test_22_attributes(self):
+        assert len(ATTRIBUTES) == 22
+
+
+class TestCodeword:
+    def test_cross_family_distance_at_least_3(self):
+        for fa in range(16):
+            for fb in range(fa + 1, 16):
+                for ma in (0, 1):
+                    for mb in (0, 1):
+                        a = _codeword(fa, ma)
+                        b = _codeword(fb, mb)
+                        distance = sum(x != y for x, y in zip(a, b))
+                        assert distance >= 3, (fa, ma, fb, mb)
+
+    def test_sibling_distance_exactly_2(self):
+        for family in range(16):
+            a = _codeword(family, 0)
+            b = _codeword(family, 1)
+            assert sum(x != y for x, y in zip(a, b)) == 2
+
+    def test_too_many_families_rejected(self):
+        with pytest.raises(ValueError):
+            _codeword(25, 0)
+        with pytest.raises(ValueError):
+            _codeword(0, 2)
+
+
+class TestProfiles:
+    def test_odor_respects_class(self):
+        profiles = build_profiles(seed=0)
+        for profile in profiles:
+            values, _ = profile.distributions["odor"]
+            if profile.is_mixed:
+                assert values[0] in EDIBLE_ODORS
+                assert values[1] in POISONOUS_ODORS
+            elif profile.n_edible:
+                assert all(v in EDIBLE_ODORS for v in values)
+            else:
+                assert all(v in POISONOUS_ODORS for v in values)
+
+    def test_identity_attributes_deterministic(self):
+        profiles = build_profiles(seed=0)
+        for profile in profiles:
+            for attribute in IDENTITY_ATTRIBUTES:
+                values, _ = profile.distributions[attribute]
+                assert len(values) == 1
+
+    def test_every_attribute_covered_by_distribution_or_chain(self):
+        profiles = build_profiles(seed=0)
+        for profile in profiles:
+            chain_attributes = set(profile.modes[0])
+            covered = set(profile.distributions) | chain_attributes
+            assert covered == set(ATTRIBUTES)
+            # chain and distributions never overlap
+            assert not (set(profile.distributions) & chain_attributes)
+
+    def test_consecutive_modes_differ_in_exactly_2_attributes(self):
+        profiles = build_profiles(seed=0)
+        for profile in profiles:
+            modes = profile.modes
+            assert len(modes) >= 2
+            for a, b in zip(modes, modes[1:]):
+                assert set(a) == set(b)
+                differing = sum(1 for attr in a if a[attr] != b[attr])
+                assert differing == 2
+
+    def test_chain_extremes_farther_than_sibling_offset(self):
+        """The euclidean-confusability property: a big cluster's extreme
+        modes differ in more attributes than the 3 separating siblings."""
+        profiles = build_profiles(seed=0)
+        big = max(profiles, key=lambda p: p.size)
+        first, last = big.modes[0], big.modes[-1]
+        differing = sum(1 for attr in first if first[attr] != last[attr])
+        assert differing >= 6
+
+    def test_any_two_clusters_differ_deterministically_in_3_attributes(self):
+        """The separation guarantee: every cluster pair differs in >= 3
+        deterministic (single-value) attributes, capping cross-cluster
+        Jaccard at 19/25 < 0.8."""
+        profiles = build_profiles(seed=0)
+        deterministic = []
+        for profile in profiles:
+            deterministic.append({
+                a: v[0]
+                for a, (v, _) in profile.distributions.items()
+                if len(v) == 1
+            })
+        for i in range(len(profiles)):
+            for j in range(i + 1, len(profiles)):
+                shared = set(deterministic[i]) & set(deterministic[j])
+                differing = sum(
+                    1 for a in shared if deterministic[i][a] != deterministic[j][a]
+                )
+                assert differing >= 3, (i, j)
+
+    def test_siblings_share_variable_distributions(self):
+        from repro.datasets.mushroom import (
+            IDENTITY_ATTRIBUTES,
+            TABLE3_ROCK_CLUSTERS,
+            _assign_families,
+        )
+
+        profiles = build_profiles(seed=0)
+        families = _assign_families(TABLE3_ROCK_CLUSTERS)
+        by_family = {}
+        for profile, (family, _) in zip(profiles, families):
+            by_family.setdefault(family, []).append(profile)
+        paired = [members for members in by_family.values() if len(members) == 2]
+        assert paired  # opposite-class pairs exist
+        for a, b in paired:
+            for attribute in a.distributions:
+                if attribute in IDENTITY_ATTRIBUTES or attribute == "odor":
+                    continue
+                assert a.distributions[attribute] == b.distributions[attribute]
+
+    def test_invalid_cluster_spec(self):
+        with pytest.raises(ValueError):
+            build_profiles(((0, 0),))
+        with pytest.raises(ValueError):
+            build_profiles(tuple([(1, 0)] * 26))
+
+
+class TestGeneration:
+    def test_record_counts(self, data):
+        spec_total = sum(e + p for e, p in [
+            (max(1, e // 8) if e else 0, max(1, p // 8) if p else 0)
+            for e, p in TABLE3_ROCK_CLUSTERS
+        ])
+        assert len(data.dataset) == spec_total
+        assert len(data.class_labels) == spec_total
+        assert len(data.cluster_labels) == spec_total
+
+    def test_class_follows_odor_exactly(self, data):
+        odor_index = data.dataset.schema.index("odor")
+        for record, label in zip(data.dataset, data.class_labels):
+            odor = record.values[odor_index]
+            if label == EDIBLE:
+                assert odor in EDIBLE_ODORS
+            else:
+                assert odor in POISONOUS_ODORS
+
+    def test_cluster_class_quotas_exact(self, data):
+        from collections import Counter
+
+        per_cluster = Counter()
+        for cluster, label in zip(data.cluster_labels, data.class_labels):
+            per_cluster[(cluster, label)] += 1
+        for profile in data.profiles:
+            assert per_cluster.get((profile.index, EDIBLE), 0) == profile.n_edible
+            assert per_cluster.get((profile.index, POISONOUS), 0) == profile.n_poisonous
+
+    def test_cross_cluster_records_below_neighbor_threshold(self, data):
+        """Any two records from different latent clusters differ on >= 4
+        identity attributes, so their Jaccard stays below 0.8 (the
+        separation guarantee the replica is built around)."""
+        from repro.core.similarity import JaccardSimilarity
+
+        sim = JaccardSimilarity()
+        by_cluster = {}
+        for i, c in enumerate(data.cluster_labels):
+            by_cluster.setdefault(c, []).append(i)
+        clusters = sorted(by_cluster)
+        for a in clusters[:8]:
+            for b in clusters[:8]:
+                if a >= b:
+                    continue
+                ra = data.dataset[by_cluster[a][0]]
+                rb = data.dataset[by_cluster[b][0]]
+                assert sim(ra, rb) < 0.8
+
+    def test_within_cluster_similarity_often_high(self, data):
+        from repro.core.similarity import JaccardSimilarity
+
+        sim = JaccardSimilarity()
+        by_cluster = {}
+        for i, c in enumerate(data.cluster_labels):
+            by_cluster.setdefault(c, []).append(i)
+        # take the largest cluster and check a good share of pairs pass 0.8
+        largest = max(by_cluster.values(), key=len)[:20]
+        high = 0
+        total = 0
+        for x in range(len(largest)):
+            for y in range(x + 1, len(largest)):
+                total += 1
+                if sim(data.dataset[largest[x]], data.dataset[largest[y]]) >= 0.8:
+                    high += 1
+        assert high / total > 0.2
+
+    def test_some_missing_stalk_root(self):
+        big = generate_mushroom(
+            cluster_spec=((200, 0), (0, 200)), missing_stalk_root_rate=0.05, seed=1
+        )
+        index = big.dataset.schema.index("stalk-root")
+        missing = sum(1 for r in big.dataset if r.values[index] is None)
+        assert 2 <= missing <= 50
+
+    def test_deterministic(self):
+        a = small_mushroom(seed=5)
+        b = small_mushroom(seed=5)
+        assert [r.values for r in a.dataset] == [r.values for r in b.dataset]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_mushroom(missing_stalk_root_rate=1.5)

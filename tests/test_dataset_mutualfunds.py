@@ -1,0 +1,106 @@
+"""Tests for the mutual-funds replica generator."""
+
+import pytest
+
+from repro.core.similarity import MissingAwareJaccard
+from repro.datasets.mutualfunds import (
+    N_PAIR_CLUSTERS,
+    N_TRADING_DAYS,
+    PAPER_TOTAL_FUNDS,
+    TABLE4_GROUPS,
+    generate_mutual_funds,
+)
+
+
+@pytest.fixture(scope="module")
+def funds():
+    return generate_mutual_funds(
+        groups=TABLE4_GROUPS[:4], n_pairs=3, n_outliers=10, n_days=120, seed=0
+    )
+
+
+class TestSpec:
+    def test_table4_group_sizes(self):
+        sizes = {name: size for name, size, _ in TABLE4_GROUPS}
+        assert sizes["Growth 2"] == 107
+        assert sizes["Growth 3"] == 70
+        assert sizes["Bonds 7"] == 26
+        assert sizes["Financial Service"] == 3
+        assert len(TABLE4_GROUPS) == 16
+
+    def test_default_totals(self):
+        data = generate_mutual_funds(n_days=30, seed=1)
+        assert len(data.series) == PAPER_TOTAL_FUNDS
+        grouped = sum(size for _, size, _ in TABLE4_GROUPS)
+        pairs = 3 * N_PAIR_CLUSTERS  # two members + one satellite each
+        outliers = PAPER_TOTAL_FUNDS - grouped - pairs
+        assert data.group_labels.count("") == outliers
+
+
+class TestStructure:
+    def test_dataset_one_column_per_movement_day(self, funds):
+        assert len(funds.dataset.schema) == 120 - 1
+
+    def test_labels_align(self, funds):
+        assert len(funds.group_labels) == len(funds.series)
+        for record, label in zip(funds.dataset, funds.group_labels):
+            assert record.label == label or (label == "" and record.label == "")
+
+    def test_same_group_funds_highly_similar(self, funds):
+        sim = MissingAwareJaccard()
+        by_group = {}
+        for i, label in enumerate(funds.group_labels):
+            if label and not label.startswith("Pair"):
+                by_group.setdefault(label, []).append(i)
+        for members in by_group.values():
+            a, b = members[0], members[1]
+            assert sim(funds.dataset[a], funds.dataset[b]) >= 0.75
+
+    def test_cross_group_funds_dissimilar(self, funds):
+        sim = MissingAwareJaccard()
+        groups = {}
+        for i, label in enumerate(funds.group_labels):
+            if label:
+                groups.setdefault(label, []).append(i)
+        names = sorted(groups)
+        a = groups[names[0]][0]
+        b = groups[names[1]][0]
+        assert sim(funds.dataset[a], funds.dataset[b]) < 0.5
+
+    def test_outliers_dissimilar_to_everyone(self, funds):
+        sim = MissingAwareJaccard()
+        outlier = funds.group_labels.index("")
+        others = [i for i in range(len(funds.dataset)) if i != outlier][:10]
+        for i in others:
+            assert sim(funds.dataset[outlier], funds.dataset[i]) < 0.6
+
+    def test_young_funds_have_missing_values(self):
+        data = generate_mutual_funds(
+            groups=TABLE4_GROUPS[:2], n_pairs=0, n_outliers=0,
+            n_days=100, young_fund_fraction=1.0, seed=3,
+        )
+        assert data.dataset.missing_fraction() > 0.1
+
+    def test_no_young_funds_no_missing(self):
+        data = generate_mutual_funds(
+            groups=TABLE4_GROUPS[:1], n_pairs=0, n_outliers=0,
+            n_days=50, young_fund_fraction=0.0, seed=3,
+        )
+        assert data.dataset.missing_fraction() == 0.0
+
+    def test_prices_positive(self, funds):
+        for series in funds.series[:20]:
+            assert all(v > 0 for v in series.observations.values())
+
+    def test_deterministic(self):
+        a = generate_mutual_funds(groups=TABLE4_GROUPS[:2], n_pairs=1, n_outliers=2, n_days=40, seed=9)
+        b = generate_mutual_funds(groups=TABLE4_GROUPS[:2], n_pairs=1, n_outliers=2, n_days=40, seed=9)
+        assert [r.values for r in a.dataset] == [r.values for r in b.dataset]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_mutual_funds(fidelity=0.0)
+        with pytest.raises(ValueError):
+            generate_mutual_funds(young_fund_fraction=1.5)
+        with pytest.raises(ValueError):
+            generate_mutual_funds(n_days=1)

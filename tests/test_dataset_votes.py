@@ -1,0 +1,84 @@
+"""Tests for the Congressional Votes replica."""
+
+import pytest
+
+from repro.datasets.votes import (
+    DEMOCRAT,
+    DEMOCRAT_P_YES,
+    REPUBLICAN,
+    REPUBLICAN_P_YES,
+    VOTE_ISSUES,
+    generate_votes,
+)
+
+
+@pytest.fixture(scope="module")
+def votes():
+    return generate_votes(seed=0)
+
+
+class TestShape:
+    def test_paper_counts(self, votes):
+        labels = votes.labels()
+        assert len(votes) == 435
+        assert labels.count(REPUBLICAN) == 168
+        assert labels.count(DEMOCRAT) == 267
+
+    def test_sixteen_issues(self, votes):
+        assert len(votes.schema) == 16
+        assert set(votes.schema.attributes) == set(VOTE_ISSUES)
+
+    def test_values_are_votes_or_missing(self, votes):
+        for record in votes:
+            for value in record.values:
+                assert value in ("y", "n", None)
+
+    def test_few_missing_values(self, votes):
+        assert 0.0 < votes.missing_fraction() < 0.08
+
+    def test_probability_tables_cover_all_issues(self):
+        assert set(REPUBLICAN_P_YES) == set(VOTE_ISSUES)
+        assert set(DEMOCRAT_P_YES) == set(VOTE_ISSUES)
+
+
+class TestStatistics:
+    def test_majorities_differ_on_most_issues(self, votes):
+        """Paper commentary on Table 7: majorities differ on 12 of the 13
+        non-agreeing issues; they agree on ~3."""
+        from repro.eval.characterize import distinguishing_attributes
+
+        republicans = [i for i, r in enumerate(votes) if r.label == REPUBLICAN]
+        democrats = [i for i, r in enumerate(votes) if r.label == DEMOCRAT]
+        differing = distinguishing_attributes(votes, republicans, democrats)
+        assert len(differing) >= 11
+
+    def test_empirical_frequencies_near_generating(self, votes):
+        republicans = [r for r in votes if r.label == REPUBLICAN]
+        yes = sum(1 for r in republicans if r["el-salvador-aid"] == "y")
+        total = sum(1 for r in republicans if r["el-salvador-aid"] is not None)
+        assert yes / total > 0.9  # generating p = 0.99
+
+    def test_moderates_blend(self):
+        """With moderate_fraction=1.0 every member votes from the blended
+        profile, so party majorities mostly align."""
+        blended = generate_votes(moderate_fraction=1.0, seed=1)
+        from repro.eval.characterize import distinguishing_attributes
+
+        republicans = [i for i, r in enumerate(blended) if r.label == REPUBLICAN]
+        democrats = [i for i, r in enumerate(blended) if r.label == DEMOCRAT]
+        differing = distinguishing_attributes(blended, republicans, democrats)
+        assert len(differing) <= 6
+
+    def test_deterministic(self):
+        a = generate_votes(seed=3)
+        b = generate_votes(seed=3)
+        assert [r.values for r in a] == [r.values for r in b]
+        assert a.labels() == b.labels()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_votes(n_republicans=-1)
+        with pytest.raises(ValueError):
+            generate_votes(missing_rate=1.0)
+        with pytest.raises(ValueError):
+            generate_votes(moderate_fraction=2.0)

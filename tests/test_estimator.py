@@ -1,0 +1,106 @@
+"""Tests for the sklearn-style estimator facade."""
+
+import numpy as np
+import pytest
+
+from repro.data.records import CategoricalDataset, CategoricalSchema
+from repro.data.transactions import TransactionDataset
+from repro.estimator import RockClusterer
+
+
+class TestProtocol:
+    def test_fit_returns_self_and_sets_attributes(self):
+        model = RockClusterer(n_clusters=2, theta=0.4)
+        out = model.fit(
+            [{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {7, 8, 9}, {7, 8, 10}, {7, 9, 10}]
+        )
+        assert out is model
+        assert model.n_clusters_ == 2
+        assert sorted(map(sorted, model.clusters_)) == [[0, 1, 2], [3, 4, 5]]
+        assert model.labels_.tolist() == [0, 0, 0, 1, 1, 1]
+        assert model.outlier_indices_ == []
+
+    def test_fit_predict(self):
+        labels = RockClusterer(n_clusters=2, theta=0.4).fit_predict(
+            [{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {7, 8, 9}, {7, 8, 10}, {7, 9, 10}]
+        )
+        assert isinstance(labels, np.ndarray)
+        assert labels.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_get_set_params_round_trip(self):
+        model = RockClusterer(n_clusters=3, theta=0.6)
+        params = model.get_params()
+        assert params["n_clusters"] == 3
+        model.set_params(theta=0.7, random_state=5)
+        assert model.theta == 0.7
+        assert model.random_state == 5
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            RockClusterer().set_params(bogus=1)
+
+    def test_y_is_ignored(self):
+        model = RockClusterer(n_clusters=2, theta=0.4)
+        model.fit(
+            [{1, 2}, {1, 2, 3}, {1, 2, 4}, {8, 9}, {8, 9, 10}, {8, 9, 11}],
+            y=[0, 0, 0, 1, 1, 1],
+        )
+        assert model.n_clusters_ == 2
+
+    def test_random_state_determinism(self):
+        data = [{1, 2, i} for i in range(3, 30)] + [{50, 51, i} for i in range(52, 79)]
+        a = RockClusterer(n_clusters=2, theta=0.3, sample_size=30, random_state=1)
+        b = RockClusterer(n_clusters=2, theta=0.3, sample_size=30, random_state=1)
+        assert a.fit_predict(data).tolist() == b.fit_predict(data).tolist()
+
+
+class TestInputCoercion:
+    def test_binary_matrix_input(self):
+        X = np.array(
+            [
+                [1, 1, 1, 0, 0, 0, 0, 0],
+                [1, 1, 0, 1, 0, 0, 0, 0],
+                [1, 0, 1, 1, 0, 0, 0, 0],
+                [0, 0, 0, 0, 1, 1, 1, 0],
+                [0, 0, 0, 0, 1, 1, 0, 1],
+                [0, 0, 0, 0, 1, 0, 1, 1],
+            ]
+        )
+        labels = RockClusterer(n_clusters=2, theta=0.4).fit_predict(X)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_non_2d_array_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            RockClusterer().fit(np.zeros(5))
+
+    def test_transaction_dataset_passthrough(self):
+        ds = TransactionDataset(
+            [{1, 2}, {1, 2, 3}, {1, 2, 4}, {8, 9}, {8, 9, 10}, {8, 9, 11}]
+        )
+        model = RockClusterer(n_clusters=2, theta=0.4).fit(ds)
+        assert model.n_clusters_ == 2
+
+    def test_categorical_dataset_passthrough(self):
+        schema = CategoricalSchema(["a", "b"])
+        ds = CategoricalDataset(schema, [["x", "y"]] * 4 + [["p", "q"]] * 4)
+        model = RockClusterer(n_clusters=2, theta=0.9).fit(ds)
+        assert sorted(map(len, model.clusters_)) == [4, 4]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            RockClusterer().fit([])
+
+    def test_nonsense_input_rejected(self):
+        with pytest.raises(TypeError):
+            RockClusterer().fit(42)
+
+    def test_docstring_example(self):
+        import doctest
+
+        import repro.estimator as module
+
+        results = doctest.testmod(module)
+        assert results.attempted >= 2
+        assert results.failed == 0

@@ -1,0 +1,233 @@
+"""Tests for the addressable max-heap substrate."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heaps import AddressableMaxHeap, build_heap
+
+
+class TestBasics:
+    def test_empty_heap(self):
+        heap = AddressableMaxHeap()
+        assert len(heap) == 0
+        assert not heap
+        assert "x" not in heap
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableMaxHeap().peek()
+
+    def test_insert_and_peek(self):
+        heap = AddressableMaxHeap()
+        heap.insert("a", 1.0)
+        heap.insert("b", 3.0)
+        heap.insert("c", 2.0)
+        assert heap.peek() == ("b", 3.0)
+        assert len(heap) == 3
+
+    def test_pop_returns_descending_keys(self):
+        heap = build_heap([("a", 5.0), ("b", 1.0), ("c", 9.0), ("d", 3.0)])
+        popped = [heap.pop() for _ in range(4)]
+        assert popped == [("c", 9.0), ("a", 5.0), ("d", 3.0), ("b", 1.0)]
+        assert len(heap) == 0
+
+    def test_duplicate_insert_rejected(self):
+        heap = AddressableMaxHeap()
+        heap.insert("a", 1.0)
+        with pytest.raises(KeyError):
+            heap.insert("a", 2.0)
+
+    def test_nan_key_rejected(self):
+        heap = AddressableMaxHeap()
+        with pytest.raises(ValueError):
+            heap.insert("a", float("nan"))
+        heap.insert("b", 1.0)
+        with pytest.raises(ValueError):
+            heap.update("b", float("nan"))
+
+    def test_contains_and_key_of(self):
+        heap = AddressableMaxHeap()
+        heap.insert("a", 7.0)
+        assert "a" in heap
+        assert heap.key_of("a") == 7.0
+        with pytest.raises(KeyError):
+            heap.key_of("zzz")
+
+    def test_infinite_keys_supported(self):
+        heap = AddressableMaxHeap()
+        heap.insert("low", float("-inf"))
+        heap.insert("high", float("inf"))
+        heap.insert("mid", 0.0)
+        assert heap.pop()[0] == "high"
+        assert heap.pop()[0] == "mid"
+        assert heap.pop()[0] == "low"
+
+
+class TestUpdateDelete:
+    def test_update_increases_key(self):
+        heap = build_heap([("a", 1.0), ("b", 2.0), ("c", 3.0)])
+        heap.update("a", 10.0)
+        assert heap.peek() == ("a", 10.0)
+
+    def test_update_decreases_key(self):
+        heap = build_heap([("a", 1.0), ("b", 2.0), ("c", 3.0)])
+        heap.update("c", 0.0)
+        assert heap.peek() == ("b", 2.0)
+        assert heap.key_of("c") == 0.0
+
+    def test_update_missing_raises(self):
+        with pytest.raises(KeyError):
+            AddressableMaxHeap().update("ghost", 1.0)
+
+    def test_insert_or_update(self):
+        heap = AddressableMaxHeap()
+        heap.insert_or_update("a", 1.0)
+        heap.insert_or_update("a", 5.0)
+        assert len(heap) == 1
+        assert heap.peek() == ("a", 5.0)
+
+    def test_delete_root(self):
+        heap = build_heap([("a", 3.0), ("b", 2.0), ("c", 1.0)])
+        heap.delete("a")
+        assert heap.peek() == ("b", 2.0)
+        assert "a" not in heap
+
+    def test_delete_leaf(self):
+        heap = build_heap([("a", 3.0), ("b", 2.0), ("c", 1.0)])
+        heap.delete("c")
+        assert len(heap) == 2
+        assert heap.pop() == ("a", 3.0)
+        assert heap.pop() == ("b", 2.0)
+
+    def test_delete_middle_restores_invariant(self):
+        heap = build_heap([(i, float(k)) for i, k in enumerate([9, 5, 8, 1, 4, 7, 6])])
+        heap.delete(1)  # key 5.0, an internal node
+        heap.check_invariant()
+        keys = [heap.pop()[1] for _ in range(len(heap))]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            AddressableMaxHeap().delete("ghost")
+
+
+class TestDeterminism:
+    def test_fifo_among_equal_keys(self):
+        heap = AddressableMaxHeap()
+        for name in ["first", "second", "third"]:
+            heap.insert(name, 1.0)
+        assert heap.pop()[0] == "first"
+        assert heap.pop()[0] == "second"
+        assert heap.pop()[0] == "third"
+
+    def test_update_refreshes_no_tie_order_surprise(self):
+        # an updated key competes by its original insertion sequence
+        heap = AddressableMaxHeap()
+        heap.insert("a", 1.0)
+        heap.insert("b", 2.0)
+        heap.update("a", 2.0)
+        assert heap.pop()[0] == "a"  # inserted before b
+
+
+class TestFromPairs:
+    def test_bulk_build_matches_sequential(self):
+        pairs = [(i, float((i * 7) % 5)) for i in range(30)]
+        bulk = AddressableMaxHeap.from_pairs(pairs)
+        seq = build_heap(pairs)
+        bulk.check_invariant()
+        while bulk:
+            assert bulk.pop() == seq.pop()
+
+    def test_tie_order_follows_pair_order(self):
+        bulk = AddressableMaxHeap.from_pairs([("a", 1.0), ("b", 1.0), ("c", 1.0)])
+        assert [bulk.pop()[0] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(KeyError):
+            AddressableMaxHeap.from_pairs([("a", 1.0), ("a", 2.0)])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            AddressableMaxHeap.from_pairs([("a", float("nan"))])
+
+    def test_supports_further_mutation(self):
+        heap = AddressableMaxHeap.from_pairs([("a", 1.0), ("b", 3.0)])
+        heap.insert("c", 2.0)
+        heap.update("a", 9.0)
+        heap.delete("b")
+        heap.check_invariant()
+        assert heap.pop() == ("a", 9.0)
+        assert heap.pop() == ("c", 2.0)
+
+    @settings(max_examples=100)
+    @given(st.lists(st.floats(-50, 50), max_size=40))
+    def test_bulk_equals_sequential_popping(self, keys):
+        pairs = [(i, k) for i, k in enumerate(keys)]
+        bulk = AddressableMaxHeap.from_pairs(pairs)
+        seq = build_heap(pairs)
+        bulk.check_invariant()
+        assert [bulk.pop() for _ in range(len(keys))] == [
+            seq.pop() for _ in range(len(keys))
+        ]
+
+
+@settings(max_examples=200)
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=60))
+def test_heapsort_matches_sorted(keys):
+    heap = AddressableMaxHeap()
+    for i, key in enumerate(keys):
+        heap.insert(i, key)
+    heap.check_invariant()
+    popped = [heap.pop()[1] for _ in range(len(keys))]
+    assert popped == sorted((float(k) for k in keys), reverse=True)
+
+
+@settings(max_examples=150)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["ins", "del", "upd", "pop"]),
+            st.integers(0, 20),
+            st.floats(-100, 100),
+        ),
+        max_size=80,
+    )
+)
+def test_random_operations_keep_invariant(ops):
+    heap = AddressableMaxHeap()
+    model: dict[int, float] = {}
+    seq = 0
+    order: dict[int, int] = {}
+    for op, entry, key in ops:
+        if op == "ins":
+            if entry in model:
+                continue
+            heap.insert(entry, key)
+            model[entry] = float(key)
+            order[entry] = seq
+            seq += 1
+        elif op == "del":
+            if entry not in model:
+                continue
+            heap.delete(entry)
+            del model[entry]
+        elif op == "upd":
+            if entry not in model:
+                continue
+            heap.update(entry, key)
+            model[entry] = float(key)
+        elif op == "pop":
+            if not model:
+                continue
+            popped_entry, popped_key = heap.pop()
+            best = max(model.items(), key=lambda kv: (kv[1], -order[kv[0]]))
+            assert math.isclose(popped_key, best[1], rel_tol=0, abs_tol=0)
+            assert model[popped_entry] == popped_key
+            del model[popped_entry]
+        heap.check_invariant()
+    assert len(heap) == len(model)
+    for entry, key in model.items():
+        assert heap.key_of(entry) == key

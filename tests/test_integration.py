@@ -1,0 +1,146 @@
+"""Cross-module integration tests: replicas through the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import centroid_cluster, kmodes_cluster
+from repro.core import MissingAwareJaccard, RockPipeline
+from repro.data.io import iter_transactions, write_transactions
+from repro.datasets import (
+    generate_mutual_funds,
+    generate_votes,
+    small_mushroom,
+    small_synthetic_basket,
+    TABLE4_GROUPS,
+)
+from repro.eval import (
+    adjusted_rand_index,
+    class_composition,
+    cluster_purities,
+    misclassified_count,
+    purity,
+)
+
+
+class TestVotesEndToEnd:
+    @pytest.fixture(scope="class")
+    def votes(self):
+        return generate_votes(seed=1)
+
+    def test_rock_two_dominant_party_clusters(self, votes):
+        result = RockPipeline(k=2, theta=0.73, min_cluster_size=5, seed=0).fit(votes)
+        assert result.n_clusters == 2
+        composition = class_composition(result.clusters, votes.labels())
+        majorities = {max(c, key=c.get) for c in composition}
+        assert majorities == {"republican", "democrat"}
+
+    def test_rock_beats_or_matches_centroid_contamination(self, votes):
+        rock_result = RockPipeline(k=2, theta=0.73, min_cluster_size=5, seed=0).fit(votes)
+        centroid_result = centroid_cluster(votes, k=2, eliminate_singletons=False)
+        truth = votes.labels()
+        rock_purity = purity(rock_result.clusters, truth)
+        centroid_purity = purity(centroid_result.clusters, truth)
+        assert rock_purity >= centroid_purity - 0.01
+
+    def test_kmodes_reasonable(self, votes):
+        result = kmodes_cluster(votes, k=2, seed=0, n_init=3)
+        assert purity(result.clusters, votes.labels()) > 0.7
+
+
+class TestMushroomEndToEnd:
+    @pytest.fixture(scope="class")
+    def mushroom(self):
+        return small_mushroom(seed=2)
+
+    def test_rock_finds_mostly_pure_skewed_clusters(self, mushroom):
+        result = RockPipeline(k=20, theta=0.8, min_cluster_size=3, seed=0).fit(
+            mushroom.dataset
+        )
+        purities = cluster_purities(result.clusters, mushroom.class_labels)
+        impure = sum(1 for p in purities if p < 1.0)
+        assert impure <= 1  # paper: all but one cluster pure
+        sizes = result.cluster_sizes()
+        assert max(sizes) / max(min(sizes), 1) > 3  # wide size variance
+
+    def test_rock_recovers_latent_clusters_well(self, mushroom):
+        result = RockPipeline(k=20, theta=0.8, min_cluster_size=3, seed=0).fit(
+            mushroom.dataset
+        )
+        clustered = [i for i in range(len(mushroom.dataset)) if result.labels[i] >= 0]
+        ari = adjusted_rand_index(
+            [mushroom.cluster_labels[i] for i in clustered],
+            [int(result.labels[i]) for i in clustered],
+        )
+        assert ari > 0.9
+
+
+class TestFundsEndToEnd:
+    def test_rock_recovers_fund_groups(self):
+        funds = generate_mutual_funds(
+            groups=TABLE4_GROUPS[:6], n_pairs=2, n_outliers=15, n_days=150, seed=4
+        )
+        result = RockPipeline(
+            k=8, theta=0.8, similarity=MissingAwareJaccard(),
+            min_cluster_size=2, outlier_multiple=1.0, seed=0,
+        ).fit(funds.dataset)
+        named = {}
+        for cluster in result.clusters:
+            labels = {funds.group_labels[i] for i in cluster}
+            assert len(labels) == 1  # never mixes groups
+            named.setdefault(labels.pop(), 0)
+        for name, size, _ in TABLE4_GROUPS[:6]:
+            assert name in named
+
+
+class TestBasketWithDiskLabeling:
+    def test_sample_cluster_label_from_disk_file(self, tmp_path):
+        basket = small_synthetic_basket(
+            n_clusters=3, cluster_size=120, n_outliers=15, seed=6
+        )
+        path = tmp_path / "txns.txt"
+        write_transactions(basket.transactions, path)
+        # stream back from disk, sample, cluster, and label the stream
+        streamed = list(iter_transactions(path))
+        assert len(streamed) == len(basket.transactions)
+        result = RockPipeline(
+            k=3, theta=0.4, sample_size=120, min_cluster_size=5, seed=6
+        ).fit(streamed)
+        assert result.n_clusters == 3
+        wrong = misclassified_count(basket.labels, result.labels.tolist())
+        assert wrong <= len(basket.labels) * 0.05
+
+    def test_quality_improves_with_sample_size(self):
+        """The Table 6 trend at miniature scale: more sample, fewer
+        misclassified transactions (checked as a weak monotonicity)."""
+        basket = small_synthetic_basket(
+            n_clusters=4, cluster_size=200, n_outliers=30, seed=8
+        )
+        wrongs = []
+        for sample_size in (60, 320):
+            result = RockPipeline(
+                k=4, theta=0.4, sample_size=sample_size, min_cluster_size=4, seed=1
+            ).fit(basket.transactions)
+            wrongs.append(misclassified_count(basket.labels, result.labels.tolist()))
+        assert wrongs[1] <= wrongs[0]
+
+
+class TestCriterionConsistency:
+    def test_rock_merge_improves_criterion_over_random_split(self):
+        from repro.core import compute_links, compute_neighbor_graph, criterion_value
+
+        basket = small_synthetic_basket(
+            n_clusters=2, cluster_size=40, n_outliers=0, seed=9
+        )
+        graph = compute_neighbor_graph(basket.transactions, theta=0.4)
+        links = compute_links(graph)
+        result = RockPipeline(k=2, theta=0.4, seed=0).fit(basket.transactions)
+        f = 1 / 3
+        rock_value = criterion_value(result.clusters, links, f)
+        # a deliberately shuffled split of the same sizes scores lower
+        rng = np.random.default_rng(0)
+        all_points = np.arange(len(basket.transactions))
+        rng.shuffle(all_points)
+        half = len(result.clusters[0])
+        random_split = [all_points[:half].tolist(), all_points[half:].tolist()]
+        random_value = criterion_value(random_split, links, f)
+        assert rock_value > random_value

@@ -1,0 +1,84 @@
+"""Tests for the UCI .data and transactions-file readers/writers."""
+
+import io
+
+import pytest
+
+from repro.data.io import (
+    iter_transactions,
+    read_transactions,
+    read_uci_data,
+    transactions_to_string,
+    write_transactions,
+    write_uci_data,
+)
+from repro.data.records import MISSING, CategoricalDataset, CategoricalSchema
+from repro.data.transactions import Transaction, TransactionDataset
+
+
+class TestUciData:
+    def test_read_with_label_first(self):
+        text = "edible,convex,brown\npoisonous,flat,?\n"
+        ds = read_uci_data(io.StringIO(text), ["shape", "color"])
+        assert len(ds) == 2
+        assert ds[0].label == "edible"
+        assert ds[0]["shape"] == "convex"
+        assert ds[1]["color"] is MISSING
+
+    def test_read_without_label(self):
+        ds = read_uci_data(io.StringIO("a,b\nc,d\n"), ["x", "y"], label_column=None)
+        assert ds.labels() == [None, None]
+        assert ds[1]["y"] == "d"
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = "# header comment\n\nedible,convex\n"
+        ds = read_uci_data(io.StringIO(text), ["shape"])
+        assert len(ds) == 1
+
+    def test_wrong_arity_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            read_uci_data(io.StringIO("e,a\np,a,b\n"), ["only"])
+
+    def test_round_trip(self, tmp_path):
+        schema = CategoricalSchema(["a", "b"])
+        ds = CategoricalDataset(
+            schema, [["x", MISSING], ["y", "z"]], labels=["l1", "l2"]
+        )
+        path = tmp_path / "data.data"
+        write_uci_data(ds, path)
+        back = read_uci_data(path, ["a", "b"])
+        assert back[0].label == "l1"
+        assert back[0]["b"] is MISSING
+        assert back[1]["a"] == "y"
+
+    def test_write_without_label(self):
+        ds = CategoricalDataset(["a"], [["x"]])
+        buf = io.StringIO()
+        write_uci_data(ds, buf, include_label=False)
+        assert buf.getvalue() == "x\n"
+
+
+class TestTransactionsFile:
+    def test_read_simple(self):
+        ds = read_transactions(io.StringIO("milk bread\nbeer\n"))
+        assert len(ds) == 2
+        assert ds[0] == {"milk", "bread"}
+        assert ds[1].tid == 1
+
+    def test_round_trip(self, tmp_path):
+        original = TransactionDataset([["b", "a"], ["c"]])
+        path = tmp_path / "txns.txt"
+        write_transactions(original, path)
+        back = read_transactions(path)
+        assert [t.items for t in back] == [frozenset({"a", "b"}), frozenset({"c"})]
+
+    def test_iter_transactions_streams(self, tmp_path):
+        path = tmp_path / "txns.txt"
+        path.write_text("a b\n# skip me\n\nc\n")
+        streamed = list(iter_transactions(path))
+        assert len(streamed) == 2
+        assert streamed[1] == {"c"}
+
+    def test_to_string(self):
+        text = transactions_to_string([Transaction(["b", "a"])])
+        assert text == "a b\n"

@@ -1,0 +1,125 @@
+"""Tests for the disk-labeling phase (Section 4.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import ClusterLabeler, draw_labeling_sets
+from repro.core.similarity import JaccardSimilarity, SimilarityTable
+from repro.data.transactions import Transaction
+
+CLUSTER_A = [Transaction({1, 2, 3}), Transaction({1, 2, 4}), Transaction({2, 3, 4})]
+CLUSTER_B = [Transaction({7, 8, 9}), Transaction({7, 8, 10})]
+
+
+@pytest.fixture
+def labeler():
+    return ClusterLabeler([CLUSTER_A, CLUSTER_B], theta=0.4)
+
+
+class TestClusterLabeler:
+    def test_neighbor_counts(self, labeler):
+        counts = labeler.neighbor_counts(Transaction({1, 2, 5}))
+        # {1,2,5} vs A members: j({1,2,3})=0.5, j({1,2,4})=0.5, j({2,3,4})=0.2
+        assert counts.tolist() == [2, 0]
+
+    def test_assign_to_cluster_with_most_normalised_neighbors(self, labeler):
+        assert labeler.assign(Transaction({1, 2, 3, 4})) == 0
+        assert labeler.assign(Transaction({7, 8})) == 1
+
+    def test_no_neighbors_is_outlier(self, labeler):
+        assert labeler.assign(Transaction({99})) == -1
+
+    def test_normalisation_uses_li_size(self):
+        """N_i / (|L_i| + 1)^f: with equal raw counts the smaller labeling
+        set wins."""
+        big = [Transaction({1, 2, i}) for i in range(3, 9)]
+        small = [Transaction({1, 2, 10})]
+        labeler = ClusterLabeler([big, small], theta=0.4)
+        point = Transaction({1, 2})
+        counts = labeler.neighbor_counts(point)
+        # every rep contains {1,2}: jaccard 2/3 >= 0.4 everywhere
+        assert counts.tolist() == [6, 1]
+        scores = labeler.scores(point)
+        assert scores[0] > scores[1]  # raw count dominates here
+        assert labeler.assign(point) == 0
+
+    def test_assign_all_streams(self, labeler):
+        labels = labeler.assign_all(
+            [Transaction({1, 2, 3}), Transaction({7, 8, 9}), Transaction({42})]
+        )
+        assert labels.tolist() == [0, 1, -1]
+
+    def test_fast_path_matches_scalar_path(self):
+        points = [Transaction(frozenset({i, i + 1, (i * 3) % 7})) for i in range(20)]
+        fast = ClusterLabeler([CLUSTER_A, CLUSTER_B], theta=0.25)
+        slow = ClusterLabeler(
+            [CLUSTER_A, CLUSTER_B],
+            theta=0.25,
+            similarity=lambda a, b: JaccardSimilarity()(a, b),
+        )
+        assert slow._jaccard_index is None
+        assert fast._jaccard_index is not None
+        for p in points:
+            assert fast.neighbor_counts(p).tolist() == slow.neighbor_counts(p).tolist()
+            assert fast.assign(p) == slow.assign(p)
+
+    def test_custom_similarity_table(self):
+        table = SimilarityTable({("p", "a1"): 0.9, ("p", "b1"): 0.3})
+        labeler = ClusterLabeler([["a1"], ["b1"]], theta=0.5, similarity=table)
+        assert labeler.assign("p") == 0
+
+    def test_point_with_items_outside_vocabulary(self, labeler):
+        # items unseen in any labeling set only enlarge the union
+        point = Transaction({1, 2, 3, 777, 888})
+        counts = labeler.neighbor_counts(point)
+        expected = sum(
+            1 for rep in CLUSTER_A if JaccardSimilarity()(point, rep) >= 0.4
+        )
+        assert counts[0] == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ClusterLabeler([], theta=0.5)
+        with pytest.raises(ValueError, match="non-empty"):
+            ClusterLabeler([[]], theta=0.5)
+        with pytest.raises(ValueError, match="theta"):
+            ClusterLabeler([[Transaction({1})]], theta=2.0)
+
+
+class TestDrawLabelingSets:
+    def test_fraction_and_min_points(self):
+        points = [Transaction({i}) for i in range(20)]
+        clusters = [list(range(12)), list(range(12, 20))]
+        sets = draw_labeling_sets(clusters, points, fraction=0.25, rng=0)
+        assert len(sets[0]) == 3
+        assert len(sets[1]) == 2
+
+    def test_min_points_floor(self):
+        points = [Transaction({i}) for i in range(4)]
+        sets = draw_labeling_sets([[0], [1, 2, 3]], points, fraction=0.1, rng=0)
+        assert len(sets[0]) == 1
+        assert len(sets[1]) == 1
+
+    def test_representatives_come_from_their_cluster(self):
+        points = [Transaction({i}) for i in range(10)]
+        clusters = [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+        sets = draw_labeling_sets(clusters, points, fraction=0.6, rng=1)
+        for cluster, li in zip(clusters, sets):
+            member_items = {points[i].items for i in cluster}
+            assert all(rep.items in member_items for rep in li)
+
+    def test_deterministic(self):
+        points = [Transaction({i}) for i in range(30)]
+        clusters = [list(range(15)), list(range(15, 30))]
+        a = draw_labeling_sets(clusters, points, rng=5)
+        b = draw_labeling_sets(clusters, points, rng=5)
+        assert [[r.items for r in li] for li in a] == [[r.items for r in li] for li in b]
+
+    def test_validation(self):
+        points = [Transaction({1})]
+        with pytest.raises(ValueError, match="fraction"):
+            draw_labeling_sets([[0]], points, fraction=0.0)
+        with pytest.raises(ValueError, match="min_points"):
+            draw_labeling_sets([[0]], points, min_points=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            draw_labeling_sets([[]], points)

@@ -1,0 +1,157 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    adjusted_rand_index,
+    class_composition,
+    cluster_purities,
+    confusion_matrix,
+    contingency_table,
+    misclassified_count,
+    normalized_mutual_information,
+    purity,
+    size_statistics,
+)
+
+labelings = st.lists(st.integers(0, 3), min_size=1, max_size=40)
+
+
+class TestContingency:
+    def test_counts(self):
+        table = contingency_table(["a", "a", "b"], [0, 1, 1])
+        assert table == {("a", 0): 1, ("a", 1): 1, ("b", 1): 1}
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            contingency_table([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            contingency_table([], [])
+
+    def test_confusion_matrix_layout(self):
+        matrix, rows, cols = confusion_matrix(["a", "a", "b"], [0, 1, 1])
+        assert rows == ["a", "b"]
+        assert cols == [0, 1]
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+
+
+class TestComposition:
+    def test_per_cluster_counts(self):
+        clusters = [[0, 1, 2], [3, 4]]
+        truth = ["r", "r", "d", "d", "d"]
+        comp = class_composition(clusters, truth)
+        assert comp == [{"r": 2, "d": 1}, {"d": 2}]
+
+    def test_purities(self):
+        clusters = [[0, 1, 2], [3, 4]]
+        truth = ["r", "r", "d", "d", "d"]
+        assert cluster_purities(clusters, truth) == [pytest.approx(2 / 3), 1.0]
+
+    def test_overall_purity(self):
+        clusters = [[0, 1, 2], [3, 4]]
+        truth = ["r", "r", "d", "d", "d"]
+        assert purity(clusters, truth) == pytest.approx(4 / 5)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_purities([[]], ["a"])
+
+
+class TestMisclassified:
+    def test_zero_when_perfect(self):
+        assert misclassified_count([0, 0, 1, 1], [5, 5, 9, 9]) == 0
+
+    def test_minority_members_counted(self):
+        truth = [0, 0, 0, 1, 1]
+        pred = [7, 7, 7, 7, 8]
+        assert misclassified_count(truth, pred) == 1
+
+    def test_unassigned_skipped_by_default(self):
+        truth = [0, 0, 1]
+        pred = [5, -1, -1]
+        assert misclassified_count(truth, pred) == 0
+
+    def test_unassigned_counted_when_requested(self):
+        truth = [0, 0, 1]
+        pred = [5, -1, -1]
+        # the -1 bucket has classes {0: 1, 1: 1} -> 1 misclassified
+        assert misclassified_count(truth, pred, count_unassigned=True) == 1
+
+    def test_split_cluster_not_penalised(self):
+        """Splitting a class across clusters is not misclassification
+        under the plurality convention (matches Table 6 semantics)."""
+        truth = [0, 0, 0, 0]
+        pred = [1, 1, 2, 2]
+        assert misclassified_count(truth, pred) == 0
+
+
+class TestARI:
+    def test_perfect_agreement(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [3, 3, 9, 9]) == pytest.approx(1.0)
+
+    def test_permuted_labels_irrelevant(self):
+        a = adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0])
+        assert a == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # classic example: ARI of a half-split
+        truth = [0, 0, 0, 1, 1, 1]
+        pred = [0, 0, 1, 1, 2, 2]
+        value = adjusted_rand_index(truth, pred)
+        assert 0.2 < value < 0.3
+
+    def test_trivial_labelings(self):
+        assert adjusted_rand_index([0, 0, 0], [1, 1, 1]) == 1.0
+
+    @settings(max_examples=60)
+    @given(labelings)
+    def test_self_agreement_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @settings(max_examples=60)
+    @given(labelings, st.randoms(use_true_random=False))
+    def test_range(self, labels, rng):
+        shuffled = list(labels)
+        rng.shuffle(shuffled)
+        value = adjusted_rand_index(labels, shuffled)
+        assert -1.0 <= value <= 1.0 + 1e-9
+
+
+class TestNMI:
+    def test_perfect(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [5, 5, 6, 6]) == pytest.approx(1.0)
+
+    def test_independent(self):
+        truth = [0, 0, 1, 1]
+        pred = [0, 1, 0, 1]
+        assert normalized_mutual_information(truth, pred) == pytest.approx(0.0, abs=1e-9)
+
+    def test_trivial(self):
+        assert normalized_mutual_information([0, 0], [1, 1]) == 1.0
+
+    @settings(max_examples=60)
+    @given(labelings)
+    def test_range_and_self(self, labels):
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+        reversed_labels = labels[::-1]
+        value = normalized_mutual_information(labels, reversed_labels)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+
+class TestSizeStatistics:
+    def test_summary(self):
+        stats = size_statistics([[0] * 8, [0] * 2])
+        assert stats["count"] == 2
+        assert stats["min"] == 2
+        assert stats["max"] == 8
+        assert stats["mean"] == 5
+        assert stats["skew_ratio"] == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            size_statistics([])

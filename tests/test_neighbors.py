@@ -1,0 +1,155 @@
+"""Tests for neighbor-graph computation (Section 3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.neighbors import (
+    NeighborGraph,
+    adjacency_from_similarity_matrix,
+    compute_neighbor_graph,
+)
+from repro.core.similarity import JaccardSimilarity, MissingAwareJaccard, SimilarityTable
+from repro.data.records import MISSING, CategoricalDataset, CategoricalSchema
+from repro.data.transactions import Transaction, TransactionDataset
+
+
+class TestNeighborGraph:
+    def test_validation_square(self):
+        with pytest.raises(ValueError, match="square"):
+            NeighborGraph(np.zeros((2, 3), dtype=bool))
+
+    def test_validation_hollow(self):
+        adj = np.eye(2, dtype=bool)
+        with pytest.raises(ValueError, match="diagonal"):
+            NeighborGraph(adj)
+
+    def test_validation_symmetric(self):
+        adj = np.zeros((2, 2), dtype=bool)
+        adj[0, 1] = True
+        with pytest.raises(ValueError, match="symmetric"):
+            NeighborGraph(adj)
+
+    def test_neighbor_lists_and_degrees(self):
+        adj = np.array(
+            [[0, 1, 1], [1, 0, 0], [1, 0, 0]], dtype=bool
+        )
+        g = NeighborGraph(adj)
+        assert [list(l) for l in g.neighbor_lists()] == [[1, 2], [0], [0]]
+        assert g.degrees().tolist() == [2, 1, 1]
+        assert g.are_neighbors(0, 1)
+        assert not g.are_neighbors(1, 2)
+
+    def test_isolated_points(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = adj[1, 0] = True
+        g = NeighborGraph(adj)
+        assert g.isolated_points().tolist() == [2]
+
+    def test_subgraph_reindexes(self):
+        adj = np.array(
+            [[0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=bool
+        )
+        sub = NeighborGraph(adj).subgraph([0, 2])
+        assert sub.n == 2
+        assert not sub.are_neighbors(0, 1)
+
+    def test_empty_graph(self):
+        g = NeighborGraph(np.zeros((0, 0), dtype=bool))
+        assert g.n == 0
+        assert len(g) == 0
+
+
+class TestThresholding:
+    def test_threshold_inclusive(self):
+        sim = np.array([[1.0, 0.5], [0.5, 1.0]])
+        adj = adjacency_from_similarity_matrix(sim, theta=0.5)
+        assert adj[0, 1]
+
+    def test_diagonal_cleared(self):
+        sim = np.ones((3, 3))
+        adj = adjacency_from_similarity_matrix(sim, theta=0.0)
+        assert not adj.diagonal().any()
+
+    def test_theta_one_only_identical(self):
+        sim = np.array([[1.0, 0.99], [0.99, 1.0]])
+        adj = adjacency_from_similarity_matrix(sim, theta=1.0)
+        assert not adj.any()
+
+
+class TestComputeNeighborGraph:
+    def test_example_1_1_at_least_one_common_item(self):
+        """Section 1.2: with 'at least one item in common' as the neighbor
+        rule, transactions {1,4} and {6} are not neighbors."""
+        ds = TransactionDataset([{1, 2, 3, 5}, {2, 3, 4, 5}, {1, 4}, {6}])
+        # any positive Jaccard means >= 1 common item; use tiny theta
+        g = compute_neighbor_graph(ds, theta=1e-9)
+        assert g.are_neighbors(0, 1)
+        assert g.are_neighbors(0, 2)
+        assert not g.are_neighbors(2, 3)
+        assert not g.are_neighbors(0, 3)
+
+    def test_vectorized_equals_bruteforce(self):
+        ds = TransactionDataset([{1, 2, 3}, {1, 2}, {3, 4}, {5}, set()])
+        fast = compute_neighbor_graph(ds, theta=0.3, method="vectorized")
+        slow = compute_neighbor_graph(ds, theta=0.3, method="bruteforce")
+        assert np.array_equal(fast.adjacency, slow.adjacency)
+
+    def test_missing_aware_vectorized_equals_bruteforce(self):
+        schema = CategoricalSchema(["a", "b", "c"])
+        ds = CategoricalDataset(
+            schema,
+            [["x", "y", MISSING], ["x", "y", "z"], [MISSING, "y", "z"], ["q", "r", "s"]],
+        )
+        sim = MissingAwareJaccard()
+        fast = compute_neighbor_graph(ds, theta=0.5, similarity=sim, method="vectorized")
+        slow = compute_neighbor_graph(ds, theta=0.5, similarity=sim, method="bruteforce")
+        assert np.array_equal(fast.adjacency, slow.adjacency)
+
+    def test_categorical_default_jaccard_uses_av_encoding(self):
+        schema = CategoricalSchema(["a", "b"])
+        ds = CategoricalDataset(schema, [["x", "y"], ["x", "y"], ["p", "q"]])
+        g = compute_neighbor_graph(ds, theta=0.99)
+        assert g.are_neighbors(0, 1)
+        assert not g.are_neighbors(0, 2)
+
+    def test_similarity_table_bruteforce(self):
+        table = SimilarityTable({("a", "b"): 0.9, ("b", "c"): 0.2})
+        g = compute_neighbor_graph(["a", "b", "c"], theta=0.5, similarity=table)
+        assert g.are_neighbors(0, 1)
+        assert not g.are_neighbors(1, 2)
+
+    def test_vectorized_unavailable_raises(self):
+        table = SimilarityTable({})
+        with pytest.raises(ValueError, match="no bulk path"):
+            compute_neighbor_graph(["a"], theta=0.5, similarity=table, method="vectorized")
+
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(ValueError, match="theta"):
+            compute_neighbor_graph(TransactionDataset([{1}]), theta=1.5)
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            compute_neighbor_graph(TransactionDataset([{1}]), theta=0.5, method="magic")
+
+    def test_out_of_range_similarity_rejected(self):
+        bad = lambda a, b: 2.0
+        with pytest.raises(ValueError, match="normalised"):
+            compute_neighbor_graph([1, 2], theta=0.5, similarity=bad)
+
+    def test_theta_recorded(self):
+        g = compute_neighbor_graph(TransactionDataset([{1}, {2}]), theta=0.4)
+        assert g.theta == 0.4
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.sets(st.integers(0, 8), max_size=6), min_size=1, max_size=12),
+    st.floats(0.0, 1.0),
+)
+def test_vectorized_bruteforce_agree_on_random_data(sets, theta):
+    ds = TransactionDataset([Transaction(s) for s in sets])
+    fast = compute_neighbor_graph(ds, theta=theta, method="vectorized")
+    slow = compute_neighbor_graph(ds, theta=theta, method="bruteforce")
+    assert np.array_equal(fast.adjacency, slow.adjacency)

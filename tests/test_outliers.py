@@ -1,0 +1,74 @@
+"""Tests for outlier handling (Section 4.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.neighbors import NeighborGraph
+from repro.core.outliers import prune_sparse_points, weed_small_clusters, weeding_stop_count
+
+
+def graph_with_degrees():
+    # 0-1-2 triangle, 3 attached to 0, 4 isolated
+    adj = np.zeros((5, 5), dtype=bool)
+    for i, j in [(0, 1), (1, 2), (0, 2), (0, 3)]:
+        adj[i, j] = adj[j, i] = True
+    return NeighborGraph(adj)
+
+
+class TestPruneSparsePoints:
+    def test_default_drops_isolated(self):
+        kept, dropped = prune_sparse_points(graph_with_degrees())
+        assert kept.tolist() == [0, 1, 2, 3]
+        assert dropped.tolist() == [4]
+
+    def test_threshold_two(self):
+        kept, dropped = prune_sparse_points(graph_with_degrees(), min_neighbors=2)
+        assert kept.tolist() == [0, 1, 2]
+        assert dropped.tolist() == [3, 4]
+
+    def test_zero_threshold_keeps_all(self):
+        kept, dropped = prune_sparse_points(graph_with_degrees(), min_neighbors=0)
+        assert len(kept) == 5
+        assert len(dropped) == 0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            prune_sparse_points(graph_with_degrees(), min_neighbors=-1)
+
+
+class TestWeedSmallClusters:
+    def test_drops_below_min_size(self):
+        survivors, outliers = weed_small_clusters([[0, 1, 2], [3], [4, 5]], 2)
+        assert survivors == [[0, 1, 2], [4, 5]]
+        assert outliers == [3]
+
+    def test_outliers_sorted_flat(self):
+        _, outliers = weed_small_clusters([[9], [3, 4, 5], [1]], 3)
+        assert outliers == [1, 9]
+
+    def test_min_size_one_keeps_everything(self):
+        survivors, outliers = weed_small_clusters([[0], [1]], 1)
+        assert survivors == [[0], [1]]
+        assert outliers == []
+
+    def test_invalid_min_size(self):
+        with pytest.raises(ValueError):
+            weed_small_clusters([[0]], 0)
+
+
+class TestWeedingStopCount:
+    def test_small_multiple_of_k(self):
+        assert weeding_stop_count(10, 3.0) == 30
+        assert weeding_stop_count(10, 1.5) == 15
+
+    def test_never_below_k(self):
+        assert weeding_stop_count(10, 1.0) == 10
+
+    def test_rounding(self):
+        assert weeding_stop_count(3, 2.5) == 8
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            weeding_stop_count(0)
+        with pytest.raises(ValueError):
+            weeding_stop_count(3, 0.5)

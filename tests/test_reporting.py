@@ -1,0 +1,47 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.eval.reporting import format_composition_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 5")
+        assert text.splitlines()[0] == "Table 5"
+
+    def test_floats_fixed_precision(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.123" in text
+        assert "0.1234" not in text
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestCompositionTable:
+    def test_layout_matches_paper_tables(self):
+        text = format_composition_table(
+            [{"republican": 144, "democrat": 22}, {"democrat": 201, "republican": 5}],
+            classes=["republican", "democrat"],
+        )
+        lines = text.splitlines()
+        assert "Cluster No" in lines[0]
+        assert "No of republican" in lines[0]
+        assert "144" in lines[2]
+        assert "201" in lines[3]
+
+    def test_absent_class_renders_zero(self):
+        text = format_composition_table([{"a": 3}], classes=["a", "b"])
+        assert text.splitlines()[-1].split("|")[-1].strip() == "0"

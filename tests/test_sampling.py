@@ -1,0 +1,88 @@
+"""Tests for reservoir sampling (Section 4.6, [Vit85])."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import reservoir_sample, reservoir_sample_skip, sample_indices
+
+
+@pytest.mark.parametrize("sampler", [reservoir_sample, reservoir_sample_skip])
+class TestBothAlgorithms:
+    def test_small_stream_returned_whole(self, sampler):
+        sample, indices = sampler([10, 20, 30], 5, rng=0)
+        assert sample == [10, 20, 30]
+        assert indices == [0, 1, 2]
+
+    def test_exact_size(self, sampler):
+        sample, indices = sampler(range(1000), 50, rng=1)
+        assert len(sample) == 50
+        assert len(indices) == 50
+
+    def test_indices_match_items(self, sampler):
+        items = [f"row{i}" for i in range(200)]
+        sample, indices = sampler(items, 20, rng=2)
+        assert sample == [items[i] for i in indices]
+
+    def test_indices_sorted_and_unique(self, sampler):
+        _, indices = sampler(range(500), 40, rng=3)
+        assert indices == sorted(set(indices))
+
+    def test_deterministic_for_seed(self, sampler):
+        a = sampler(range(300), 30, rng=42)
+        b = sampler(range(300), 30, rng=42)
+        assert a == b
+
+    def test_works_with_generator_stream(self, sampler):
+        stream = (i * i for i in range(100))
+        sample, indices = sampler(stream, 10, rng=4)
+        assert all(sample[k] == indices[k] ** 2 for k in range(10))
+
+    def test_invalid_size(self, sampler):
+        with pytest.raises(ValueError):
+            sampler(range(10), 0)
+
+    def test_accepts_random_instance(self, sampler):
+        rng = random.Random(7)
+        sample, _ = sampler(range(100), 5, rng=rng)
+        assert len(sample) == 5
+
+    def test_rough_uniformity(self, sampler):
+        """Every element should be selected with probability s/n; check
+        the empirical inclusion rates over many runs are within a loose
+        band (both algorithms implement the same distribution)."""
+        n, s, runs = 40, 10, 1500
+        counts = Counter()
+        for seed in range(runs):
+            _, indices = sampler(range(n), s, rng=seed)
+            counts.update(indices)
+        expected = runs * s / n
+        for i in range(n):
+            assert abs(counts[i] - expected) < expected * 0.25, (
+                f"element {i} selected {counts[i]} times, expected ~{expected}"
+            )
+
+
+class TestEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 200), st.integers(1, 50))
+    def test_both_algorithms_return_valid_samples(self, n, s):
+        a_sample, a_idx = reservoir_sample(range(n), s, rng=n * 31 + s)
+        b_sample, b_idx = reservoir_sample_skip(range(n), s, rng=n * 31 + s)
+        expected_size = min(n, s)
+        assert len(a_sample) == len(b_sample) == expected_size
+        assert all(0 <= i < n for i in a_idx)
+        assert all(0 <= i < n for i in b_idx)
+
+
+class TestSampleIndices:
+    def test_range_sample(self):
+        indices = sample_indices(100, 10, rng=0)
+        assert len(indices) == 10
+        assert all(0 <= i < 100 for i in indices)
+
+    def test_full_coverage_when_size_exceeds_n(self):
+        assert sample_indices(5, 10, rng=0) == [0, 1, 2, 3, 4]

@@ -1,0 +1,233 @@
+"""Tests for the similarity functions (Section 3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import (
+    JaccardSimilarity,
+    LpSimilarity,
+    MissingAwareJaccard,
+    OverlapSimilarity,
+    SimilarityTable,
+    similarity_levels,
+)
+from repro.data.records import MISSING, CategoricalDataset, CategoricalRecord, CategoricalSchema
+from repro.data.transactions import Transaction, TransactionDataset
+
+item_sets = st.sets(st.integers(0, 12), max_size=8)
+
+
+class TestJaccard:
+    def test_known_values(self):
+        sim = JaccardSimilarity()
+        assert sim({1, 2, 3}, {3, 4, 5}) == pytest.approx(0.2)
+        assert sim({1, 2, 3}, {1, 2, 4}) == pytest.approx(0.5)
+
+    def test_accepts_transactions_and_records(self):
+        sim = JaccardSimilarity()
+        schema = CategoricalSchema(["a", "b"])
+        r1 = CategoricalRecord(schema, ["x", "y"])
+        r2 = CategoricalRecord(schema, ["x", "z"])
+        assert sim(r1, r2) == pytest.approx(1 / 3)
+        assert sim(Transaction([1, 2]), {1, 2}) == 1.0
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError, match="cannot interpret"):
+            JaccardSimilarity()(3.14, {1})
+
+    def test_pairwise_matches_scalar(self):
+        ds = TransactionDataset([{1, 2, 3}, {1, 2, 4}, {5}, set()])
+        sim = JaccardSimilarity()
+        matrix = sim.pairwise(ds)
+        for i in range(len(ds)):
+            for j in range(len(ds)):
+                if i == j:
+                    assert matrix[i, j] == 1.0
+                else:
+                    assert matrix[i, j] == pytest.approx(sim(ds[i], ds[j]))
+
+    @settings(max_examples=100)
+    @given(item_sets, item_sets)
+    def test_symmetry_and_range(self, a, b):
+        sim = JaccardSimilarity()
+        value = sim(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == sim(b, a)
+
+    @settings(max_examples=100)
+    @given(item_sets)
+    def test_identity(self, a):
+        expected = 1.0 if a else 0.0
+        assert JaccardSimilarity()(a, a) == expected
+
+
+class TestOverlap:
+    def test_subset_has_full_overlap(self):
+        assert OverlapSimilarity()({1, 2}, {1, 2, 3, 4}) == 1.0
+
+    def test_empty_is_zero(self):
+        assert OverlapSimilarity()(set(), {1}) == 0.0
+
+    def test_pairwise_matches_scalar(self):
+        ds = TransactionDataset([{1, 2}, {1, 2, 3}, {4}])
+        sim = OverlapSimilarity()
+        matrix = sim.pairwise(ds)
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    assert matrix[i, j] == pytest.approx(sim(ds[i], ds[j]))
+
+
+class TestMissingAwareJaccard:
+    @pytest.fixture
+    def schema(self):
+        return CategoricalSchema(["d1", "d2", "d3", "d4"])
+
+    def test_identical_on_shared_is_one(self, schema):
+        a = CategoricalRecord(schema, ["Up", "Up", MISSING, MISSING])
+        b = CategoricalRecord(schema, ["Up", "Up", "Down", "No"])
+        assert MissingAwareJaccard()(a, b) == 1.0
+
+    def test_plain_jaccard_would_penalise(self, schema):
+        """Contrast with the global encoding, which treats the young
+        record's absent attributes as disagreement."""
+        a = CategoricalRecord(schema, ["Up", "Up", MISSING, MISSING])
+        b = CategoricalRecord(schema, ["Up", "Up", "Down", "No"])
+        assert JaccardSimilarity()(a, b) == pytest.approx(0.5)
+
+    def test_no_shared_attributes_is_zero(self, schema):
+        a = CategoricalRecord(schema, ["Up", "Up", MISSING, MISSING])
+        b = CategoricalRecord(schema, [MISSING, MISSING, "Down", "No"])
+        assert MissingAwareJaccard()(a, b) == 0.0
+
+    def test_partial_agreement(self, schema):
+        a = CategoricalRecord(schema, ["Up", "Down", "No", MISSING])
+        b = CategoricalRecord(schema, ["Up", "Up", "No", "Down"])
+        # shared attrs d1,d2,d3: equal on d1,d3 -> inter 2, union 2*3-2=4
+        assert MissingAwareJaccard()(a, b) == pytest.approx(0.5)
+
+    def test_pairwise_matches_scalar(self, schema):
+        rows = [
+            ["Up", "Down", "No", "Up"],
+            ["Up", "Up", MISSING, "Up"],
+            [MISSING, MISSING, "No", "Down"],
+            ["Down", "Down", "Down", MISSING],
+        ]
+        ds = CategoricalDataset(schema, rows)
+        sim = MissingAwareJaccard()
+        matrix = sim.pairwise(list(ds))
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    assert matrix[i, j] == pytest.approx(sim(ds[i], ds[j]))
+
+    def test_pairwise_empty(self):
+        assert MissingAwareJaccard().pairwise([]).shape == (0, 0)
+
+    def test_schema_mismatch_rejected(self, schema):
+        other = CategoricalSchema(["x", "y", "z", "w"])
+        a = CategoricalRecord(schema, ["Up"] * 4)
+        b = CategoricalRecord(other, ["Up"] * 4)
+        with pytest.raises(ValueError):
+            MissingAwareJaccard()(a, b)
+
+
+class TestSimilarityTable:
+    def test_lookup_symmetric(self):
+        table = SimilarityTable({("a", "b"): 0.7})
+        assert table("a", "b") == 0.7
+        assert table("b", "a") == 0.7
+
+    def test_default_for_unknown_pairs(self):
+        table = SimilarityTable({("a", "b"): 0.7}, default=0.1)
+        assert table("a", "z") == 0.1
+
+    def test_identity_is_one(self):
+        table = SimilarityTable({})
+        assert table("a", "a") == 1.0
+
+    def test_conflicting_entries_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            SimilarityTable({("a", "b"): 0.7, ("b", "a"): 0.3})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SimilarityTable({("a", "b"): 1.5})
+        with pytest.raises(ValueError):
+            SimilarityTable({}, default=-0.1)
+
+    def test_key_extraction(self):
+        table = SimilarityTable({(1, 2): 0.9}, key=lambda p: p["id"])
+        assert table({"id": 1}, {"id": 2}) == 0.9
+
+
+class TestSimilarityLevels:
+    def test_size_3_transactions(self):
+        # min size 3 => 4 distinct levels (Section 3.1.1)
+        assert similarity_levels(3, 3) == [0.0, 0.2, 0.5, 1.0]
+
+    def test_count_is_min_plus_one(self):
+        assert len(similarity_levels(3, 7)) == 4
+        assert len(similarity_levels(9, 2)) == 3
+
+    def test_levels_are_achievable_jaccards(self):
+        sim = JaccardSimilarity()
+        # size 2 vs size 3 over disjoint/partial/subset configurations
+        observed = {
+            sim({1, 2}, {3, 4, 5}),
+            sim({1, 2}, {2, 3, 4}),
+            sim({1, 2}, {1, 2, 3}),
+        }
+        assert observed == set(similarity_levels(2, 3))
+
+    def test_empty_transaction(self):
+        assert similarity_levels(0, 5) == [0.0]
+        assert similarity_levels(0, 0) == [0.0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            similarity_levels(-1, 2)
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 10), st.integers(0, 10))
+    def test_sorted_and_bounded(self, a, b):
+        levels = similarity_levels(a, b)
+        assert levels == sorted(levels)
+        assert all(0.0 <= l <= 1.0 for l in levels)
+
+
+class TestLpSimilarity:
+    def test_l2_known_value(self):
+        sim = LpSimilarity(p=2)
+        assert sim([0.0, 0.0], [3.0, 4.0]) == pytest.approx(1 / 6)
+
+    def test_identical_points(self):
+        assert LpSimilarity()([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_linf(self):
+        sim = LpSimilarity(p=float("inf"))
+        assert sim([0.0, 0.0], [1.0, 3.0]) == pytest.approx(0.25)
+
+    def test_scale(self):
+        assert LpSimilarity(p=1, scale=10.0)([0.0], [5.0]) == pytest.approx(1 / 1.5)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            LpSimilarity(p=0.5)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LpSimilarity()([1.0], [1.0, 2.0])
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.floats(-50, 50), min_size=1, max_size=5),
+        st.lists(st.floats(-50, 50), min_size=1, max_size=5),
+    )
+    def test_range(self, a, b):
+        if len(a) != len(b):
+            return
+        value = LpSimilarity()(a, b)
+        assert 0.0 < value <= 1.0

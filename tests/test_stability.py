@@ -1,0 +1,134 @@
+"""Tests for the stability/robustness analysis tools."""
+
+import random
+
+import pytest
+
+from repro.core import RockPipeline
+from repro.data.transactions import Transaction
+from repro.datasets import small_synthetic_basket
+from repro.eval.stability import StabilityReport, noise_robustness, stability_analysis
+
+
+def rock_procedure(k, theta, **kwargs):
+    def run(points, seed):
+        return RockPipeline(k=k, theta=theta, seed=seed, **kwargs).fit(points).labels
+    return run
+
+
+class TestStabilityAnalysis:
+    def test_deterministic_procedure_is_perfectly_stable(self):
+        basket = small_synthetic_basket(
+            n_clusters=3, cluster_size=60, n_outliers=5, seed=0
+        )
+
+        def constant(points, seed):
+            return basket.labels  # ignore the seed entirely
+
+        report = stability_analysis(constant, basket.transactions, n_runs=3)
+        assert report.mean_pairwise_ari == pytest.approx(1.0)
+        assert report.worst_pairwise_ari == pytest.approx(1.0)
+
+    def test_rock_stable_under_resampling(self):
+        basket = small_synthetic_basket(
+            n_clusters=3, cluster_size=120, n_outliers=15, seed=2
+        )
+        procedure = rock_procedure(
+            3, 0.45, sample_size=120, min_cluster_size=5
+        )
+        report = stability_analysis(
+            procedure, basket.transactions, truth=basket.labels, n_runs=3
+        )
+        assert report.mean_pairwise_ari > 0.9
+        assert report.mean_truth_ari > 0.9
+
+    def test_random_procedure_is_unstable(self):
+        basket = small_synthetic_basket(
+            n_clusters=2, cluster_size=50, n_outliers=0, seed=1
+        )
+
+        def scrambled(points, seed):
+            rng = random.Random(seed)
+            return [rng.randrange(2) for _ in points]
+
+        report = stability_analysis(scrambled, basket.transactions, n_runs=3)
+        assert report.mean_pairwise_ari < 0.2
+
+    def test_report_counts(self):
+        basket = small_synthetic_basket(
+            n_clusters=2, cluster_size=40, n_outliers=0, seed=3
+        )
+        procedure = rock_procedure(2, 0.45)
+        report = stability_analysis(
+            procedure, basket.transactions, truth=basket.labels, n_runs=4
+        )
+        assert len(report.pairwise_ari) == 6  # C(4, 2)
+        assert len(report.truth_ari) == 4
+
+    def test_validation(self):
+        basket = small_synthetic_basket(n_clusters=2, cluster_size=30, seed=4)
+        with pytest.raises(ValueError, match="at least 2"):
+            stability_analysis(lambda p, s: basket.labels, basket.transactions, n_runs=1)
+        with pytest.raises(ValueError, match="label every"):
+            stability_analysis(lambda p, s: [0], basket.transactions, n_runs=2)
+        with pytest.raises(ValueError, match="align"):
+            stability_analysis(
+                lambda p, s: basket.labels,
+                basket.transactions,
+                truth=[0],
+                n_runs=2,
+            )
+
+
+class TestNoiseRobustness:
+    @pytest.fixture(scope="class")
+    def basket(self):
+        return small_synthetic_basket(
+            n_clusters=3, cluster_size=80, n_outliers=0, seed=5
+        )
+
+    def make_noise_factory(self, basket):
+        vocabulary = basket.transactions.vocabulary
+
+        def make_noise(i, rng):
+            return Transaction(rng.sample(vocabulary, 12), tid=f"noise{i}")
+
+        return make_noise
+
+    def test_rock_degrades_gracefully(self, basket):
+        procedure = rock_procedure(3, 0.45, min_cluster_size=5)
+        scores = noise_robustness(
+            procedure,
+            list(basket.transactions),
+            basket.labels,
+            self.make_noise_factory(basket),
+            noise_fractions=(0.0, 0.2),
+            seed=0,
+        )
+        assert scores[0.0] > 0.95
+        assert scores[0.2] > 0.85  # links shrug off 20% random noise
+
+    def test_fraction_zero_equals_clean_run(self, basket):
+        procedure = rock_procedure(3, 0.45, min_cluster_size=5)
+        scores = noise_robustness(
+            procedure,
+            list(basket.transactions),
+            basket.labels,
+            self.make_noise_factory(basket),
+            noise_fractions=(0.0,),
+            seed=0,
+        )
+        assert set(scores) == {0.0}
+
+    def test_validation(self, basket):
+        procedure = rock_procedure(3, 0.45)
+        with pytest.raises(ValueError, match="align"):
+            noise_robustness(
+                procedure, list(basket.transactions), [0],
+                self.make_noise_factory(basket),
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            noise_robustness(
+                procedure, list(basket.transactions), basket.labels,
+                self.make_noise_factory(basket), noise_fractions=(-0.1,),
+            )

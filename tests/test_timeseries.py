@@ -1,0 +1,97 @@
+"""Tests for the time-series Up/Down/No transform (Section 5.1)."""
+
+import pytest
+
+from repro.data.records import MISSING
+from repro.data.timeseries import (
+    Movement,
+    TimeSeries,
+    movements_to_record,
+    price_movements,
+    series_to_categorical_dataset,
+)
+from repro.data.records import CategoricalSchema
+
+
+class TestTimeSeries:
+    def test_observations_sorted_by_time(self):
+        s = TimeSeries("f", {3: 1.0, 1: 2.0, 2: 3.0})
+        assert s.times() == [1, 2, 3]
+        assert len(s) == 3
+
+    def test_null_values_rejected(self):
+        with pytest.raises(ValueError, match="null value"):
+            TimeSeries("f", {1: float("nan")})
+
+
+class TestPriceMovements:
+    def test_up_down_no(self):
+        s = TimeSeries("f", {0: 10.0, 1: 11.0, 2: 10.5, 3: 10.5})
+        moves = price_movements(s)
+        assert moves == {1: Movement.UP, 2: Movement.DOWN, 3: Movement.NO}
+
+    def test_first_observation_has_no_movement(self):
+        s = TimeSeries("f", {5: 10.0, 6: 11.0})
+        assert 5 not in price_movements(s)
+
+    def test_gap_compares_against_previous_observed(self):
+        # day 3 is missing; day 4 compares against day 2
+        s = TimeSeries("f", {2: 10.0, 4: 9.0})
+        assert price_movements(s) == {4: Movement.DOWN}
+
+    def test_tolerance_widens_no_band(self):
+        s = TimeSeries("f", {0: 10.0, 1: 10.05})
+        assert price_movements(s)[1] is Movement.UP
+        assert price_movements(s, tolerance=0.1)[1] is Movement.NO
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            price_movements(TimeSeries("f", {0: 1.0, 1: 2.0}), tolerance=-1.0)
+
+    def test_single_point_series_has_no_movements(self):
+        assert price_movements(TimeSeries("f", {0: 1.0})) == {}
+
+
+class TestMovementsToRecord:
+    def test_missing_dates_become_missing_values(self):
+        schema = CategoricalSchema(["1", "2", "3"])
+        record = movements_to_record(schema, {"1": Movement.UP, "3": Movement.NO})
+        assert record.values == ("Up", MISSING, "No")
+
+
+class TestSeriesToDataset:
+    def test_union_of_dates_and_missing_alignment(self):
+        old = TimeSeries("old", {0: 1.0, 1: 2.0, 2: 1.5}, label="g")
+        young = TimeSeries("young", {1: 5.0, 2: 6.0}, label="g")
+        ds = series_to_categorical_dataset([old, young])
+        assert ds.schema.attributes == ["1", "2"]
+        assert ds[0].values == ("Up", "Down")
+        # the young fund has no movement on day 1 (its first observation)
+        assert ds[1].values == (MISSING, "Up")
+        assert ds[0].rid == "old"
+        assert ds[0].label == "g"
+
+    def test_explicit_dates(self):
+        s = TimeSeries("f", {0: 1.0, 1: 2.0})
+        ds = series_to_categorical_dataset([s], dates=[1, 2])
+        assert ds.schema.attributes == ["1", "2"]
+        assert ds[0].values == ("Up", MISSING)
+
+    def test_empty_series_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            series_to_categorical_dataset([])
+
+    def test_all_constant_series_rejected(self):
+        with pytest.raises(ValueError, match="fewer than 2"):
+            series_to_categorical_dataset([TimeSeries("f", {0: 1.0})])
+
+    def test_paper_identical_where_present(self):
+        """Section 3.1.2: two records identical on shared attributes are
+        highly similar even when one has missing values."""
+        from repro.core.similarity import MissingAwareJaccard
+
+        full = TimeSeries("full", {i: float(i % 3) + 1.0 for i in range(10)})
+        late = TimeSeries("late", {i: float(i % 3) + 2.0 for i in range(4, 10)})
+        ds = series_to_categorical_dataset([full, late])
+        sim = MissingAwareJaccard()
+        assert sim(ds[0], ds[1]) == 1.0  # same % 3 pattern => same movements

@@ -1,0 +1,133 @@
+"""Tests for the transaction data model."""
+
+import numpy as np
+import pytest
+
+from repro.data.transactions import Transaction, TransactionDataset
+
+
+class TestTransaction:
+    def test_items_deduplicate(self):
+        t = Transaction([1, 2, 2, 3])
+        assert len(t) == 3
+        assert t.items == frozenset({1, 2, 3})
+
+    def test_equality_ignores_tid(self):
+        assert Transaction([1, 2], tid="a") == Transaction([2, 1], tid="b")
+        assert hash(Transaction([1, 2], tid="a")) == hash(Transaction([1, 2]))
+
+    def test_equality_with_plain_sets(self):
+        assert Transaction([1, 2]) == {1, 2}
+        assert Transaction([1, 2]) == frozenset({1, 2})
+        assert Transaction([1, 2]) != {1, 3}
+
+    def test_membership_and_iteration(self):
+        t = Transaction("abc")
+        assert "a" in t
+        assert "z" not in t
+        assert sorted(t) == ["a", "b", "c"]
+
+    def test_set_operations(self):
+        a = Transaction([1, 2, 3])
+        b = Transaction([2, 3, 4])
+        assert a & b == {2, 3}
+        assert a | b == {1, 2, 3, 4}
+
+    def test_jaccard_example_1_1(self):
+        # transactions (a) and (b) of Example 1.1 share 3 of 5 items
+        a = Transaction([1, 2, 3, 5])
+        b = Transaction([2, 3, 4, 5])
+        assert a.jaccard(b) == pytest.approx(3 / 5)
+
+    def test_jaccard_identical(self):
+        t = Transaction([1, 2])
+        assert t.jaccard(t) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert Transaction([1]).jaccard(Transaction([2])) == 0.0
+
+    def test_jaccard_empty_pair_is_zero(self):
+        assert Transaction([]).jaccard(Transaction([])) == 0.0
+
+    def test_jaccard_accepts_plain_sets(self):
+        assert Transaction([1, 2]).jaccard({1, 2, 3, 4}) == pytest.approx(0.5)
+
+
+class TestTransactionDataset:
+    def test_wraps_plain_iterables(self):
+        ds = TransactionDataset([[1, 2], {2, 3}])
+        assert isinstance(ds[0], Transaction)
+        assert ds[1] == {2, 3}
+
+    def test_vocabulary_is_sorted_union(self):
+        ds = TransactionDataset([[3, 1], [2]])
+        assert ds.vocabulary == [1, 2, 3]
+        assert ds.n_items == 3
+
+    def test_explicit_vocabulary_preserved(self):
+        ds = TransactionDataset([[1]], vocabulary=[3, 1, 2])
+        assert ds.vocabulary == [3, 1, 2]
+        assert ds.item_index(3) == 0
+
+    def test_explicit_vocabulary_rejects_unknown_items(self):
+        with pytest.raises(ValueError, match="outside the vocabulary"):
+            TransactionDataset([[1, 9]], vocabulary=[1, 2])
+
+    def test_duplicate_vocabulary_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TransactionDataset([[1]], vocabulary=[1, 1])
+
+    def test_indicator_matrix_example_1_1(self):
+        # the paper's Example 1.1 boolean view of 4 transactions
+        ds = TransactionDataset(
+            [{1, 2, 3, 5}, {2, 3, 4, 5}, {1, 4}, {6}],
+            vocabulary=[1, 2, 3, 4, 5, 6],
+        )
+        expected = np.array(
+            [
+                [1, 1, 1, 0, 1, 0],
+                [0, 1, 1, 1, 1, 0],
+                [1, 0, 0, 1, 0, 0],
+                [0, 0, 0, 0, 0, 1],
+            ],
+            dtype=np.uint8,
+        )
+        assert np.array_equal(ds.indicator_matrix(), expected)
+
+    def test_indicator_matrix_cached(self):
+        ds = TransactionDataset([[1, 2]])
+        assert ds.indicator_matrix() is ds.indicator_matrix()
+
+    def test_sizes(self):
+        ds = TransactionDataset([[1, 2, 3], [4], []])
+        assert ds.sizes().tolist() == [3, 1, 0]
+
+    def test_subset_shares_vocabulary(self):
+        ds = TransactionDataset([[1], [2], [3]])
+        sub = ds.subset([0, 2])
+        assert len(sub) == 2
+        assert sub.vocabulary == ds.vocabulary
+        assert sub[1] == {3}
+
+    def test_slicing_returns_dataset(self):
+        ds = TransactionDataset([[1], [2], [3]])
+        sub = ds[1:]
+        assert isinstance(sub, TransactionDataset)
+        assert len(sub) == 2
+        assert sub.vocabulary == ds.vocabulary
+
+    def test_len_and_iteration(self):
+        ds = TransactionDataset([[1], [2]])
+        assert len(ds) == 2
+        assert [t.items for t in ds] == [frozenset({1}), frozenset({2})]
+
+    def test_mixed_unsortable_items_keep_insertion_order(self):
+        ds = TransactionDataset([[1, "a"], ["b"]])
+        assert set(ds.vocabulary) == {1, "a", "b"}
+        assert ds.n_items == 3
+
+    def test_empty_dataset(self):
+        ds = TransactionDataset([])
+        assert len(ds) == 0
+        assert ds.vocabulary == []
+        assert ds.indicator_matrix().shape == (0, 0)

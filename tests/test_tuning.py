@@ -1,0 +1,86 @@
+"""Tests for the theta-selection advisor."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuning import ThetaSuggestion, similarity_profile, suggest_theta
+from repro.data.transactions import Transaction, TransactionDataset
+from repro.datasets import small_synthetic_basket
+
+
+def bimodal_points():
+    # two tight families: within-family Jaccard high, cross ~0
+    a = [Transaction({1, 2, 3, i}) for i in range(4, 9)]
+    b = [Transaction({20, 21, 22, i}) for i in range(23, 28)]
+    return a + b
+
+
+class TestSimilarityProfile:
+    def test_all_pairs_when_small(self):
+        points = bimodal_points()
+        profile = similarity_profile(points)
+        n = len(points)
+        assert len(profile) == n * (n - 1) // 2
+        assert np.all(np.diff(profile) >= 0)  # sorted
+
+    def test_sampling_cap(self):
+        basket = small_synthetic_basket(
+            n_clusters=3, cluster_size=60, n_outliers=0, seed=1
+        )
+        profile = similarity_profile(
+            basket.transactions, max_pairs=300, rng=0
+        )
+        assert len(profile) == 300
+        assert np.all((profile >= 0) & (profile <= 1))
+
+    def test_deterministic_with_seed(self):
+        basket = small_synthetic_basket(
+            n_clusters=3, cluster_size=60, n_outliers=0, seed=1
+        )
+        a = similarity_profile(basket.transactions, max_pairs=100, rng=9)
+        b = similarity_profile(basket.transactions, max_pairs=100, rng=9)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two points"):
+            similarity_profile([Transaction({1})])
+        with pytest.raises(ValueError, match="max_pairs"):
+            similarity_profile(bimodal_points(), max_pairs=0)
+
+
+class TestSuggestTheta:
+    def test_lands_between_the_modes(self):
+        suggestion = suggest_theta(bimodal_points(), low=0.05, high=0.95)
+        # cross-family similarity is 0; within-family at least 3/5
+        assert 0.05 < suggestion.theta < 0.6
+        assert suggestion.gap_width > 0.2
+
+    def test_separates_planted_basket(self):
+        basket = small_synthetic_basket(
+            n_clusters=4, cluster_size=80, n_outliers=0, seed=2
+        )
+        suggestion = suggest_theta(basket.transactions, rng=0)
+        from repro.core import RockPipeline
+        from repro.eval import misclassified_count
+
+        result = RockPipeline(
+            k=4, theta=suggestion.theta, min_cluster_size=5, seed=0
+        ).fit(basket.transactions)
+        wrong = misclassified_count(basket.labels, result.labels.tolist())
+        assert wrong <= len(basket.labels) * 0.05
+
+    def test_uniform_data_falls_back_to_midpoint(self):
+        # identical points everywhere: all sims are 1.0, outside [low, high)
+        points = [Transaction({1, 2}) for _ in range(6)]
+        suggestion = suggest_theta(points, low=0.2, high=0.9)
+        # sims all 1.0 > high; the only candidates are the band edges
+        assert 0.2 <= suggestion.theta <= 0.9
+
+    def test_result_type(self):
+        suggestion = suggest_theta(bimodal_points())
+        assert isinstance(suggestion, ThetaSuggestion)
+        assert suggestion.profile.ndim == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="low"):
+            suggest_theta(bimodal_points(), low=0.9, high=0.5)
