@@ -1,0 +1,23 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test test-fast lint bench bench-serve example-serve
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
+
+test-fast:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q -m "not slow"
+
+lint:
+	ruff check src tests
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-serve:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_serve_throughput.py --benchmark-disable -s
+
+example-serve:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/serve_assign.py

@@ -1,0 +1,121 @@
+"""S1 -- serving throughput: labeler loop vs vectorized engine vs parallel.
+
+The §4.6 labeling scan is the serve-time hot path: once a sample is
+clustered, every remaining (or future) point flows through per-point
+assignment.  This bench fits one model on a small sample, then labels
+n ∈ {10k, 100k} synthetic market-basket points three ways:
+
+* ``labeler`` -- the sequential :class:`ClusterLabeler` loop (one
+  Python-level matvec per point);
+* ``engine`` -- :class:`AssignmentEngine` batch matmuls;
+* ``parallel`` -- :func:`repro.serve.assign_stream` over worker
+  processes.
+
+The acceptance bar is engine >= 5x labeler throughput at n=100k; in
+practice the batch path lands one to two orders of magnitude ahead.
+The serving metrics snapshot for the engine run is appended to the
+saved table.
+"""
+
+import json
+import random
+import time
+
+from repro.core.labeling import ClusterLabeler
+from repro.data.transactions import Transaction
+from repro.eval import format_table
+from repro.serve import AssignmentEngine, ServeMetrics, assign_stream
+from repro.core.pipeline import RockPipeline
+from repro.datasets import small_synthetic_basket
+
+SIZES = (10_000, 100_000)
+WORKERS = 4
+
+
+def _grow_stream(basket, n, seed):
+    """n points drawn from the basket's cluster item pools (plus noise),
+    mimicking a production stream hitting a frozen model."""
+    rng = random.Random(seed)
+    members = [
+        sorted(txn.items)
+        for label, txn in zip(basket.labels, basket.transactions)
+        if label >= 0
+    ]
+    outlier_pool = [f"noise{i}" for i in range(50)]
+    points = []
+    for _ in range(n):
+        if rng.random() < 0.05:
+            points.append(Transaction(rng.sample(outlier_pool, 4)))
+        else:
+            base = members[rng.randrange(len(members))]
+            keep = rng.sample(base, max(2, len(base) - 1))
+            points.append(Transaction(keep))
+    return points
+
+
+def test_serve_throughput(benchmark, save_result):
+    basket = small_synthetic_basket(
+        n_clusters=4, cluster_size=400, n_outliers=40, seed=11
+    )
+    pipeline = RockPipeline(
+        k=4, theta=0.45, sample_size=400, min_cluster_size=5, seed=3
+    )
+    _, model = pipeline.fit_model(basket.transactions)
+    labeler: ClusterLabeler = model.labeler()
+
+    rows = []
+    rates: dict[tuple[int, str], float] = {}
+    engine_metrics = ServeMetrics()
+    for n in SIZES:
+        points = _grow_stream(basket, n, seed=n)
+
+        start = time.perf_counter()
+        labels_loop = labeler.assign_all(points)
+        loop_seconds = time.perf_counter() - start
+
+        engine = AssignmentEngine(model, metrics=engine_metrics, cache_size=0)
+        start = time.perf_counter()
+        labels_engine = engine.assign_batch(points)
+        engine_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        labels_parallel = assign_stream(
+            model, points, workers=WORKERS, chunk_size=8192
+        )
+        parallel_seconds = time.perf_counter() - start
+
+        assert labels_engine.tolist() == labels_loop.tolist()
+        assert labels_parallel.tolist() == labels_loop.tolist()
+
+        for name, seconds in (
+            ("labeler", loop_seconds),
+            ("engine", engine_seconds),
+            (f"parallel x{WORKERS}", parallel_seconds),
+        ):
+            rates[(n, name)] = n / seconds
+            rows.append([
+                f"{n:,}", name, f"{seconds:.2f}",
+                f"{n / seconds:,.0f}",
+                f"{loop_seconds / seconds:.1f}x",
+            ])
+
+    # the acceptance bar: vectorized engine >= 5x the labeler loop at 100k
+    speedup = rates[(100_000, "engine")] / rates[(100_000, "labeler")]
+    assert speedup >= 5.0, f"engine only {speedup:.1f}x over labeler loop"
+
+    # record the engine path in pytest-benchmark's stats (one 10k batch)
+    points_10k = _grow_stream(basket, 10_000, seed=7)
+    bench_engine = AssignmentEngine(model, cache_size=0)
+    benchmark.pedantic(
+        lambda: bench_engine.assign_batch(points_10k), rounds=3, iterations=1
+    )
+
+    text = format_table(
+        ["n", "path", "seconds", "points/sec", "speedup vs labeler"],
+        rows,
+        title=f"Serve throughput (model: {model.n_clusters} clusters, "
+              f"|L| = {sum(len(li) for li in model.labeling_sets)} reps)",
+    )
+    text += "\n\nEngine metrics snapshot:\n"
+    text += json.dumps(engine_metrics.snapshot(), indent=2)
+    save_result("serve_throughput", text)

@@ -13,7 +13,9 @@ provides:
   paper compares against (centroid-based, MST/single-link,
   group-average hierarchical clustering, plus a k-modes extension);
 * :mod:`repro.eval` -- clustering quality metrics and the cluster
-  characterisation used to regenerate the paper's tables.
+  characterisation used to regenerate the paper's tables;
+* :mod:`repro.serve` -- persisted :class:`RockModel` artifacts and the
+  high-throughput assignment engine/service (fit once, serve many).
 
 Quickstart::
 
@@ -46,6 +48,12 @@ from repro.core import (
     rock,
 )
 from repro.estimator import RockClusterer
+from repro.serve import (
+    AssignmentEngine,
+    ClusteringService,
+    RockModel,
+    ServeMetrics,
+)
 from repro.data import (
     CategoricalDataset,
     CategoricalRecord,
@@ -58,7 +66,11 @@ from repro.data import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AssignmentEngine",
     "CategoricalDataset",
+    "ClusteringService",
+    "RockModel",
+    "ServeMetrics",
     "Dendrogram",
     "qrock",
     "CategoricalRecord",

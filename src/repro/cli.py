@@ -1,13 +1,17 @@
 """Command-line interface for the ROCK reproduction.
 
-Three subcommands cover the end-to-end workflow from the paper:
+The subcommands cover the end-to-end workflow from the paper:
 
 * ``generate`` -- write one of the synthetic data sets (the Section 5.3
   market-basket generator or a real-data replica) to disk, with its
   ground-truth labels alongside;
 * ``cluster`` -- run the ROCK pipeline over a transactions or UCI
   ``.data`` file and write per-record cluster labels;
-* ``evaluate`` -- score a predicted labeling against ground truth.
+* ``evaluate`` -- score a predicted labeling against ground truth;
+* ``fit-model`` / ``assign`` -- the fit-once / serve-many split of
+  Section 4.6: fit on a (sampled) file and persist a JSON
+  :class:`~repro.serve.RockModel`, then label any other file against
+  the saved model without re-clustering.
 
 Examples::
 
@@ -15,6 +19,10 @@ Examples::
     python -m repro cluster --input txns.txt --theta 0.5 -k 4 \\
         --sample 500 --output labels.txt
     python -m repro evaluate --predicted labels.txt --truth txns.txt.labels
+    python -m repro fit-model --input txns.txt --theta 0.5 -k 4 \\
+        --sample 500 --model model.json
+    python -m repro assign --model model.json --input heldout.txt \\
+        --output labels.txt --workers 4 --show-metrics
 
 All randomness is seedable; identical invocations reproduce identical
 outputs.
@@ -24,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Any
 
@@ -104,6 +113,48 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=0)
     rep.add_argument("--output", required=True, type=Path)
     rep.add_argument("--title", default="ROCK clustering report")
+
+    fit = sub.add_parser(
+        "fit-model",
+        help="cluster a file and persist a servable JSON RockModel",
+    )
+    fit.add_argument("--input", required=True, type=Path)
+    fit.add_argument(
+        "--format", choices=["transactions", "uci"], default="transactions",
+        dest="input_format",
+    )
+    fit.add_argument("--theta", type=float, required=True)
+    fit.add_argument("-k", type=int, required=True, help="cluster-count hint")
+    fit.add_argument("--sample", type=int, default=None, help="random sample size")
+    fit.add_argument("--min-cluster-size", type=int, default=None)
+    fit.add_argument("--labeling-fraction", type=float, default=0.25)
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument("--missing-aware", action="store_true")
+    fit.add_argument("--model", required=True, type=Path, help="model output path")
+    fit.add_argument(
+        "--labels", type=Path, default=None,
+        help="also write the fit run's per-record labels here",
+    )
+
+    assign = sub.add_parser(
+        "assign", help="label a data file against a saved RockModel"
+    )
+    assign.add_argument("--model", required=True, type=Path)
+    assign.add_argument("--input", required=True, type=Path)
+    assign.add_argument(
+        "--format", choices=["transactions", "uci"], default="transactions",
+        dest="input_format",
+    )
+    assign.add_argument(
+        "--output", type=Path, default=None,
+        help="write per-record labels here (default: stdout summary only)",
+    )
+    assign.add_argument("--workers", type=int, default=1)
+    assign.add_argument("--chunk-size", type=int, default=2048)
+    assign.add_argument(
+        "--show-metrics", action="store_true",
+        help="print the serving metrics snapshot after assignment",
+    )
     return parser
 
 
@@ -296,6 +347,73 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# fit-model / assign (the repro.serve loop)
+# ---------------------------------------------------------------------------
+
+def cmd_fit_model(args: argparse.Namespace) -> int:
+    points = _load_points(args)
+    if len(points) == 0:
+        raise SystemExit(f"no records in {args.input}")
+    similarity = MissingAwareJaccard() if args.missing_aware else None
+    pipeline = RockPipeline(
+        k=args.k,
+        theta=args.theta,
+        similarity=similarity,
+        sample_size=args.sample,
+        min_cluster_size=args.min_cluster_size,
+        labeling_fraction=args.labeling_fraction,
+        seed=args.seed,
+    )
+    result, model = pipeline.fit_model(points)
+    model.save(args.model)
+    rows = [
+        ["records", len(points)],
+        ["clusters", result.n_clusters],
+        ["cluster sizes", " ".join(map(str, result.cluster_sizes()))],
+        ["|L_i| sizes", " ".join(str(len(li)) for li in model.labeling_sets)],
+        ["outliers / unassigned", int((result.labels == -1).sum())],
+        ["wall-clock (s)", f"{sum(result.timings.values()):.2f}"],
+        ["model", args.model],
+    ]
+    print(format_table(["measure", "value"], rows, title="ROCK fit-model"))
+    if args.labels is not None:
+        _write_labels(args.labels, result.labels.tolist())
+        print(f"labels written to {args.labels}")
+    return 0
+
+
+def cmd_assign(args: argparse.Namespace) -> int:
+    from repro.serve import ClusteringService
+
+    service = ClusteringService.from_file(args.model)
+    start = time.perf_counter()
+    labels = service.assign_file(
+        args.input,
+        output=args.output,
+        input_format=args.input_format,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+    elapsed = time.perf_counter() - start
+    n = len(labels)
+    rows = [
+        ["records", n],
+        ["clusters in model", service.n_clusters],
+        ["outliers / unassigned", int((labels == -1).sum())],
+        ["workers", args.workers],
+        ["wall-clock (s)", f"{elapsed:.2f}"],
+        ["throughput (points/s)", f"{n / elapsed:,.0f}" if elapsed > 0 else "inf"],
+    ]
+    print(format_table(["measure", "value"], rows, title="ROCK assign"))
+    if args.output is not None:
+        print(f"labels written to {args.output}")
+    if args.show_metrics:
+        print()
+        print(service.metrics.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
@@ -306,6 +424,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_suggest_theta(args)
     if args.command == "report":
         return cmd_report(args)
+    if args.command == "fit-model":
+        return cmd_fit_model(args)
+    if args.command == "assign":
+        return cmd_assign(args)
     return cmd_evaluate(args)
 
 

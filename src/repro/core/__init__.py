@@ -29,7 +29,12 @@ from repro.core.goodness import (
     naive_goodness,
 )
 from repro.core.heaps import AddressableMaxHeap
-from repro.core.labeling import ClusterLabeler, draw_labeling_sets
+from repro.core.labeling import (
+    ClusterLabeler,
+    LabelingIndex,
+    compute_normalisers,
+    draw_labeling_sets,
+)
 from repro.core.links import (
     LinkTable,
     compute_links,
@@ -58,7 +63,9 @@ from repro.core.similarity import (
     OverlapSimilarity,
     SimilarityFunction,
     SimilarityTable,
+    similarity_from_dict,
     similarity_levels,
+    similarity_to_dict,
 )
 
 __all__ = [
@@ -68,7 +75,11 @@ __all__ = [
     "connected_components",
     "qrock",
     "ClusterLabeler",
+    "LabelingIndex",
+    "compute_normalisers",
     "load_result",
+    "similarity_from_dict",
+    "similarity_to_dict",
     "naive_cluster_with_links",
     "save_result",
     "similarity_levels",

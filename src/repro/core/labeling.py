@@ -12,6 +12,11 @@ the discovered clusters:
 
 A point with zero neighbors in every labeling set is an outlier and
 receives the label ``-1``.
+
+The scoring internals live in :class:`LabelingIndex` so that the batch
+assignment engine (:mod:`repro.serve.engine`) and the per-point
+:class:`ClusterLabeler` share one implementation of the vectorised
+Jaccard path.
 """
 
 from __future__ import annotations
@@ -26,6 +31,134 @@ from repro.core.goodness import default_f
 from repro.core.similarity import JaccardSimilarity, SimilarityFunction
 
 
+def compute_normalisers(
+    labeling_sets: Sequence[Sequence[Any]], f_theta: float
+) -> np.ndarray:
+    """The per-cluster denominators ``(|L_i| + 1)^{f(theta)}``.
+
+    An *empty* labeling set -- legal when a shard or a weeded cluster
+    contributed no representatives -- normalises by ``(0+1)^f = 1``; its
+    neighbor count is always 0, so its score is always 0 and it can
+    never win an assignment (points without neighbors anywhere are
+    outliers before scores are compared).
+    """
+    return np.array([(len(li) + 1.0) ** f_theta for li in labeling_sets])
+
+
+class LabelingIndex:
+    """Precomputed indicator-matrix view of the labeling sets (Jaccard path).
+
+    Streaming Jaccard against every representative is the hot loop of
+    the labeling scan; with all representatives encoded once into a
+    ``(total_reps, vocab)`` 0/1 matrix, a batch of ``B`` incoming points
+    costs one ``(B, vocab) @ (vocab, total_reps)`` product instead of
+    ``B * sum |L_i|`` set comparisons.  Only item-set-like points
+    (transactions, sets, categorical records) can be indexed; the
+    constructor raises ``TypeError`` otherwise, and callers fall back to
+    the scalar similarity path.
+    """
+
+    def __init__(
+        self,
+        labeling_sets: Sequence[Sequence[Any]],
+        theta: float,
+        f_theta: float,
+    ) -> None:
+        from repro.core.similarity import _as_item_set
+
+        rep_sets = [[_as_item_set(rep) for rep in li] for li in labeling_sets]
+        self.theta = theta
+        self.f_theta = f_theta
+        self.normalisers = compute_normalisers(labeling_sets, f_theta)
+        vocabulary: dict[Any, int] = {}
+        for li in rep_sets:
+            for items in li:
+                for item in items:
+                    vocabulary.setdefault(item, len(vocabulary))
+        total = sum(len(li) for li in rep_sets)
+        matrix = np.zeros((total, max(len(vocabulary), 1)), dtype=np.float64)
+        sizes = np.zeros(total, dtype=np.float64)
+        slices: list[tuple[int, int]] = []
+        row = 0
+        for li in rep_sets:
+            start = row
+            for items in li:
+                for item in items:
+                    matrix[row, vocabulary[item]] = 1.0
+                sizes[row] = len(items)
+                row += 1
+            slices.append((start, row))
+        self.vocabulary = vocabulary
+        self.rep_matrix = matrix
+        self.rep_sizes = sizes
+        self.slices = slices
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.slices)
+
+    def encode(self, points: Sequence[Any]) -> tuple[np.ndarray, np.ndarray]:
+        """Batch of points as a ``(B, vocab)`` 0/1 matrix plus true set sizes.
+
+        Items outside the representative vocabulary cannot intersect any
+        ``L_i`` member, so they contribute no column -- but they still
+        enlarge the union, hence the separately returned exact sizes.
+        """
+        from repro.core.similarity import _as_item_set
+
+        matrix = np.zeros((len(points), self.rep_matrix.shape[1]), dtype=np.float64)
+        sizes = np.zeros(len(points), dtype=np.float64)
+        lookup = self.vocabulary.get
+        rows: list[int] = []
+        columns: list[int] = []
+        for b, point in enumerate(points):
+            items = _as_item_set(point)
+            sizes[b] = len(items)
+            for item in items:
+                column = lookup(item)
+                if column is not None:
+                    rows.append(b)
+                    columns.append(column)
+        # one fancy-index write beats len(rows) scalar __setitem__ calls
+        matrix[rows, columns] = 1.0
+        return matrix, sizes
+
+    def neighbor_counts(self, points: Sequence[Any]) -> np.ndarray:
+        """``(B, n_clusters)`` matrix of per-cluster neighbor counts ``N_i``."""
+        matrix, point_sizes = self.encode(points)
+        inter = matrix @ self.rep_matrix.T
+        union = self.rep_sizes[None, :] + point_sizes[:, None] - inter
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sim = np.where(union > 0, inter / np.maximum(union, 1e-300), 0.0)
+        is_neighbor = sim >= self.theta
+        counts = np.zeros((len(points), self.n_clusters), dtype=np.int64)
+        for c, (a, b) in enumerate(self.slices):
+            if b > a:
+                counts[:, c] = is_neighbor[:, a:b].sum(axis=1)
+        return counts
+
+    def scores(self, points: Sequence[Any]) -> np.ndarray:
+        """Normalised assignment scores ``N_i / (|L_i| + 1)^f`` per point."""
+        return self.neighbor_counts(points) / self.normalisers
+
+    def assign(self, points: Sequence[Any], block_size: int = 8192) -> np.ndarray:
+        """Batch-assign; -1 for points with no neighbors in any ``L_i``.
+
+        Work proceeds in blocks so that a disk-scale batch never
+        materialises a ``(B, vocab)`` matrix larger than
+        ``block_size`` rows.
+        """
+        points = list(points)
+        labels = np.empty(len(points), dtype=np.int64)
+        for start in range(0, len(points), max(block_size, 1)):
+            block = points[start : start + block_size]
+            counts = self.neighbor_counts(block)
+            block_labels = np.argmax(counts / self.normalisers, axis=1)
+            block_labels[~counts.any(axis=1)] = -1
+            labels[start : start + block_size] = block_labels
+        return labels
+
+
 class ClusterLabeler:
     """Assigns points to clusters via normalised neighbor counts in L_i sets.
 
@@ -33,6 +166,8 @@ class ClusterLabeler:
     ----------
     labeling_sets:
         One list of representative points per cluster (the ``L_i``).
+        Individual sets may be empty (their cluster simply never wins an
+        assignment); at least one set must be non-empty.
     theta:
         The neighbor threshold used during clustering.
     similarity:
@@ -51,90 +186,43 @@ class ClusterLabeler:
     ) -> None:
         if not labeling_sets:
             raise ValueError("need at least one cluster labeling set")
-        if any(len(li) == 0 for li in labeling_sets):
-            raise ValueError("labeling sets must be non-empty")
+        if all(len(li) == 0 for li in labeling_sets):
+            raise ValueError("at least one labeling set must be non-empty")
         if not 0.0 <= theta <= 1.0:
             raise ValueError(f"theta must be in [0, 1], got {theta}")
         self.labeling_sets = [list(li) for li in labeling_sets]
         self.theta = theta
         self.similarity = similarity if similarity is not None else JaccardSimilarity()
-        f_theta = f(theta)
-        self._normalisers = np.array(
-            [(len(li) + 1.0) ** f_theta for li in self.labeling_sets]
-        )
-        self._jaccard_index = (
-            self._build_jaccard_index()
+        self.f_theta = f(theta)
+        self._normalisers = compute_normalisers(self.labeling_sets, self.f_theta)
+        self._index = (
+            self._build_index()
             if isinstance(self.similarity, JaccardSimilarity)
             else None
         )
 
-    def _build_jaccard_index(self) -> tuple | None:
-        """Precompute an indicator-matrix view of the labeling sets.
-
-        Streaming Jaccard against every representative is the hot loop
-        of the labeling scan; with all representatives encoded once into
-        a ``(total_reps, vocab)`` 0/1 matrix, each incoming point costs
-        one matrix-vector product instead of ``sum |L_i|`` set encodes.
-        Falls back to the scalar path when any representative is not
-        item-set-like.
-        """
-        from repro.core.similarity import _as_item_set
-
+    def _build_index(self) -> LabelingIndex | None:
         try:
-            rep_sets = [
-                [_as_item_set(rep) for rep in li] for li in self.labeling_sets
-            ]
+            return LabelingIndex(self.labeling_sets, self.theta, self.f_theta)
         except TypeError:
+            # representatives are not item-set-like: use the scalar path
             return None
-        vocabulary: dict[Any, int] = {}
-        for li in rep_sets:
-            for items in li:
-                for item in items:
-                    vocabulary.setdefault(item, len(vocabulary))
-        total = sum(len(li) for li in rep_sets)
-        matrix = np.zeros((total, max(len(vocabulary), 1)), dtype=np.float64)
-        sizes = np.zeros(total, dtype=np.float64)
-        slices = []
-        row = 0
-        for li in rep_sets:
-            start = row
-            for items in li:
-                for item in items:
-                    matrix[row, vocabulary[item]] = 1.0
-                sizes[row] = len(items)
-                row += 1
-            slices.append((start, row))
-        return vocabulary, matrix, sizes, slices
+
+    @property
+    def index(self) -> LabelingIndex | None:
+        """The vectorised index, when the similarity admits one."""
+        return self._index
 
     def neighbor_counts(self, point: Any) -> np.ndarray:
         """``N_i``: how many members of each ``L_i`` are neighbors of ``point``."""
-        if self._jaccard_index is not None:
-            return self._neighbor_counts_fast(point)
+        if self._index is not None:
+            return self._index.neighbor_counts([point])[0]
         counts = np.zeros(len(self.labeling_sets), dtype=np.int64)
         for i, li in enumerate(self.labeling_sets):
             counts[i] = sum(
                 1 for rep in li if self.similarity(point, rep) >= self.theta
             )
         return counts
-
-    def _neighbor_counts_fast(self, point: Any) -> np.ndarray:
-        from repro.core.similarity import _as_item_set
-
-        vocabulary, matrix, sizes, slices = self._jaccard_index
-        items = _as_item_set(point)
-        vector = np.zeros(matrix.shape[1], dtype=np.float64)
-        for item in items:
-            column = vocabulary.get(item)
-            if column is not None:
-                vector[column] = 1.0
-        inter = matrix @ vector
-        union = sizes + len(items) - inter
-        with np.errstate(divide="ignore", invalid="ignore"):
-            sim = np.where(union > 0, inter / np.maximum(union, 1e-300), 0.0)
-        is_neighbor = sim >= self.theta
-        return np.array(
-            [int(is_neighbor[a:b].sum()) for a, b in slices], dtype=np.int64
-        )
 
     def scores(self, point: Any) -> np.ndarray:
         """The normalised per-cluster assignment scores for one point."""

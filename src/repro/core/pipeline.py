@@ -56,6 +56,17 @@ class PipelineResult:
         Wall-clock seconds per stage: ``sample``, ``neighbors``,
         ``links``, ``cluster``, ``label``.  Figure 5 of the paper
         excludes the labeling phase; its bench sums the others.
+    labeling_sets:
+        The per-cluster ``L_i`` representative sets actually used by the
+        labeling scan (in final cluster order), or ``None`` when no
+        labeling happened (full-input clustering, or
+        ``label_remaining=False``).  These are what
+        :meth:`RockPipeline.to_model` persists so a saved model
+        reproduces the run's labels exactly.
+    similarity:
+        The similarity function the run used (``None`` = default
+        Jaccard); recorded so persistence can round-trip the
+        configuration.
     """
 
     labels: np.ndarray
@@ -64,6 +75,8 @@ class PipelineResult:
     outlier_indices: list[int]
     rock_result: RockResult
     timings: dict[str, float] = field(default_factory=dict)
+    labeling_sets: list[list[Any]] | None = None
+    similarity: SimilarityFunction | None = None
 
     @property
     def n_clusters(self) -> int:
@@ -235,6 +248,7 @@ class RockPipeline:
         for c, cluster in enumerate(clusters_original):
             for original in cluster:
                 labels[original] = c
+        labeling_sets: list[list[Any]] | None = None
         if label_remaining and len(sampled) < n_total:
             point_list = _as_list(points)
             labeling_sets = draw_labeling_sets(
@@ -269,6 +283,8 @@ class RockPipeline:
             [remap[l] if l >= 0 else -1 for l in labels], dtype=np.int64
         )
         full_clusters = [full_clusters[old] for old in order]
+        if labeling_sets is not None:
+            labeling_sets = [labeling_sets[old] for old in order]
 
         return PipelineResult(
             labels=labels,
@@ -277,7 +293,27 @@ class RockPipeline:
             outlier_indices=outlier_indices,
             rock_result=result,
             timings=timings,
+            labeling_sets=labeling_sets,
+            similarity=self.similarity,
         )
+
+    def to_model(self, result: PipelineResult, points: Any | None = None):
+        """Package a finished run as a servable :class:`~repro.serve.RockModel`.
+
+        Uses the labeling sets the run actually assigned with, so model
+        assignments reproduce the run's labels exactly.  For runs that
+        never labeled (no sampling, or ``label_remaining=False``) fresh
+        labeling sets are drawn from the final clusters, which requires
+        the original ``points``.
+        """
+        from repro.serve.model import model_from_result
+
+        return model_from_result(self, result, points)
+
+    def fit_model(self, points: Any, label_remaining: bool = True):
+        """Fit and package in one call: ``(PipelineResult, RockModel)``."""
+        result = self.fit(points, label_remaining=label_remaining)
+        return result, self.to_model(result, points)
 
 
 def _subset(points: Any, indices: Sequence[int]) -> Any:

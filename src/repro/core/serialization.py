@@ -19,8 +19,18 @@ import numpy as np
 
 from repro.core.pipeline import PipelineResult
 from repro.core.rock import MergeStep, RockResult
+from repro.core.similarity import similarity_from_dict, similarity_to_dict
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+"""Current file format.
+
+Version history:
+
+* 1 -- initial format; the similarity function was not recorded.
+* 2 -- ``pipeline-result`` carries a ``similarity`` entry
+  (name/params, ``None`` for the default Jaccard).  Version-1 files
+  still load; their similarity comes back as ``None``.
+"""
 
 
 def rock_result_to_dict(result: RockResult) -> dict[str, Any]:
@@ -73,6 +83,7 @@ def pipeline_result_to_dict(result: PipelineResult) -> dict[str, Any]:
         "sample_indices": list(map(int, result.sample_indices)),
         "outlier_indices": list(map(int, result.outlier_indices)),
         "timings": dict(result.timings),
+        "similarity": similarity_to_dict(result.similarity),
         "rock_result": rock_result_to_dict(result.rock_result),
     }
 
@@ -86,6 +97,7 @@ def pipeline_result_from_dict(data: dict[str, Any]) -> PipelineResult:
         outlier_indices=list(map(int, data["outlier_indices"])),
         rock_result=rock_result_from_dict(data["rock_result"]),
         timings={k: float(v) for k, v in data["timings"].items()},
+        similarity=similarity_from_dict(data.get("similarity")),
     )
 
 
@@ -128,8 +140,8 @@ def _check_header(data: dict[str, Any], expected: str) -> None:
             f"expected format {expected!r}, got {data.get('format')!r}"
         )
     version = data.get("version")
-    if version != FORMAT_VERSION:
+    if not isinstance(version, int) or not 1 <= version <= FORMAT_VERSION:
         raise ValueError(
             f"unsupported {expected} version {version!r} "
-            f"(this library reads version {FORMAT_VERSION})"
+            f"(this library reads versions 1..{FORMAT_VERSION})"
         )

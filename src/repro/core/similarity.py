@@ -13,6 +13,7 @@ protocol (a single ``__call__``); several additionally provide a
 
 from __future__ import annotations
 
+import math
 from collections.abc import Hashable, Mapping, Sequence
 from typing import Any, Protocol, runtime_checkable
 
@@ -227,6 +228,58 @@ class SimilarityTable:
         if ka == kb:
             return 1.0
         return self._table.get(frozenset((ka, kb)), self._default)
+
+
+def similarity_to_dict(similarity: SimilarityFunction | None) -> dict[str, Any] | None:
+    """A JSON-ready ``{"name": ..., "params": ...}`` description of a similarity.
+
+    ``None`` (the pipeline default, plain Jaccard) stays ``None``.  The
+    built-in similarity classes all round-trip; a custom callable has no
+    declarative form, so it is recorded by class name with a
+    ``"custom": True`` marker -- enough for provenance, not enough to
+    reconstruct (:func:`similarity_from_dict` returns ``None`` for it).
+    """
+    if similarity is None:
+        return None
+    if isinstance(similarity, JaccardSimilarity):
+        return {"name": "jaccard"}
+    if isinstance(similarity, OverlapSimilarity):
+        return {"name": "overlap"}
+    if isinstance(similarity, MissingAwareJaccard):
+        return {"name": "missing-aware-jaccard"}
+    if isinstance(similarity, LpSimilarity):
+        p: Any = "inf" if math.isinf(similarity.p) else similarity.p
+        return {"name": "lp", "params": {"p": p, "scale": similarity.scale}}
+    return {"name": type(similarity).__name__, "custom": True}
+
+
+def similarity_from_dict(data: dict[str, Any] | None) -> SimilarityFunction | None:
+    """Reconstruct a similarity recorded by :func:`similarity_to_dict`.
+
+    Returns ``None`` both for ``None`` (meaning: the default Jaccard)
+    and for custom entries that cannot be rebuilt declaratively.
+    Unknown non-custom names raise -- they indicate a file written by a
+    newer library version.
+    """
+    if data is None:
+        return None
+    if data.get("custom"):
+        return None
+    name = data.get("name")
+    params = data.get("params", {})
+    if name == "jaccard":
+        return JaccardSimilarity()
+    if name == "overlap":
+        return OverlapSimilarity()
+    if name == "missing-aware-jaccard":
+        return MissingAwareJaccard()
+    if name == "lp":
+        p = params.get("p", 2.0)
+        return LpSimilarity(
+            p=math.inf if p == "inf" else float(p),
+            scale=float(params.get("scale", 1.0)),
+        )
+    raise ValueError(f"unknown similarity function {name!r}")
 
 
 class LpSimilarity:

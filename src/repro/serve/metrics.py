@@ -1,0 +1,139 @@
+"""Lightweight serving metrics: counters, batch-size histogram, latency.
+
+A deployable assignment service needs observability, but this library
+must not grow a dependency on a metrics stack.  :class:`ServeMetrics`
+keeps everything as plain numbers behind one lock and exposes a
+``snapshot()`` dict that benchmarks, tests and the CLI can print or
+assert on.  All recording methods are cheap enough for the hot path
+(one lock acquisition, a handful of integer adds).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+# upper edges of the batch-size histogram buckets; the last bucket is
+# open-ended
+BATCH_SIZE_BUCKETS = (1, 8, 64, 512, 4096)
+
+
+class _LatencyStat:
+    """Running count/total/min/max of one stage's wall-clock seconds."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "mean_seconds": self.total / self.count if self.count else 0.0,
+            "min_seconds": self.min if self.count else 0.0,
+            "max_seconds": self.max,
+        }
+
+
+class ServeMetrics:
+    """Thread-safe counters and histograms for the assignment path."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._points = 0
+        self._outliers = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._batch_sizes = [0] * (len(BATCH_SIZE_BUCKETS) + 1)
+        self._latency: dict[str, _LatencyStat] = {}
+
+    def record_batch(
+        self,
+        n_points: int,
+        n_outliers: int,
+        seconds: float,
+        stage: str = "assign",
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ) -> None:
+        """Record one assignment request over ``n_points`` points."""
+        with self._lock:
+            self._requests += 1
+            self._points += n_points
+            self._outliers += n_outliers
+            self._cache_hits += cache_hits
+            self._cache_misses += cache_misses
+            self._batch_sizes[self._bucket(n_points)] += 1
+            self._latency.setdefault(stage, _LatencyStat()).observe(seconds)
+
+    def observe_latency(self, stage: str, seconds: float) -> None:
+        """Record wall-clock seconds for an arbitrary named stage."""
+        with self._lock:
+            self._latency.setdefault(stage, _LatencyStat()).observe(seconds)
+
+    @staticmethod
+    def _bucket(n_points: int) -> int:
+        for i, edge in enumerate(BATCH_SIZE_BUCKETS):
+            if n_points <= edge:
+                return i
+        return len(BATCH_SIZE_BUCKETS)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict view of every counter, safe to JSON-serialise."""
+        with self._lock:
+            labels = [f"<={edge}" for edge in BATCH_SIZE_BUCKETS] + [
+                f">{BATCH_SIZE_BUCKETS[-1]}"
+            ]
+            total_lookups = self._cache_hits + self._cache_misses
+            return {
+                "requests": self._requests,
+                "points": self._points,
+                "outliers": self._outliers,
+                "outlier_rate": (
+                    self._outliers / self._points if self._points else 0.0
+                ),
+                "cache": {
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                    "hit_rate": (
+                        self._cache_hits / total_lookups if total_lookups else 0.0
+                    ),
+                },
+                "batch_sizes": dict(zip(labels, self._batch_sizes)),
+                "latency": {
+                    stage: stat.snapshot()
+                    for stage, stat in sorted(self._latency.items())
+                },
+            }
+
+    def render(self) -> str:
+        """A small human-readable summary for CLI / benchmark output."""
+        snap = self.snapshot()
+        lines = [
+            f"requests          {snap['requests']}",
+            f"points            {snap['points']}",
+            f"outliers          {snap['outliers']} "
+            f"({snap['outlier_rate']:.1%})",
+            f"cache hit rate    {snap['cache']['hit_rate']:.1%} "
+            f"({snap['cache']['hits']} hits / {snap['cache']['misses']} misses)",
+            "batch sizes       "
+            + "  ".join(f"{k}:{v}" for k, v in snap["batch_sizes"].items() if v),
+        ]
+        for stage, stat in snap["latency"].items():
+            lines.append(
+                f"latency[{stage}]   mean {stat['mean_seconds'] * 1000:.2f} ms  "
+                f"max {stat['max_seconds'] * 1000:.2f} ms  "
+                f"over {stat['count']} calls"
+            )
+        return "\n".join(lines)

@@ -171,6 +171,93 @@ class TestReport:
         assert "## Cluster characteristics" in text
 
 
+class TestFitModelAssign:
+    @pytest.fixture
+    def basket_file(self, tmp_path, capsys):
+        out = tmp_path / "txns.txt"
+        run(capsys, "generate", "basket", "--out", str(out))
+        return out
+
+    def test_fit_model_writes_model_and_labels(self, basket_file, tmp_path, capsys):
+        model = tmp_path / "model.json"
+        labels = tmp_path / "fit-labels.txt"
+        code, stdout = run(
+            capsys, "fit-model", "--input", str(basket_file),
+            "--theta", "0.45", "-k", "4", "--sample", "300",
+            "--model", str(model), "--labels", str(labels),
+        )
+        assert code == 0
+        assert model.exists()
+        assert "|L_i| sizes" in stdout
+        assert len(labels.read_text().splitlines()) == \
+            len(basket_file.read_text().splitlines())
+
+    def test_fit_assign_round_trip_reproduces_labels(
+        self, basket_file, tmp_path, capsys
+    ):
+        """fit-model then assign over the same file must reproduce the
+        fit run's labels exactly on every non-sample record."""
+        model = tmp_path / "model.json"
+        fit_labels = tmp_path / "fit-labels.txt"
+        run(
+            capsys, "fit-model", "--input", str(basket_file),
+            "--theta", "0.45", "-k", "4", "--sample", "300",
+            "--model", str(model), "--labels", str(fit_labels),
+        )
+        assigned = tmp_path / "assigned.txt"
+        code, stdout = run(
+            capsys, "assign", "--model", str(model),
+            "--input", str(basket_file), "--output", str(assigned),
+            "--show-metrics",
+        )
+        assert code == 0
+        assert "throughput" in stdout
+        assert "requests" in stdout  # the metrics snapshot printed
+        from repro.serve import RockModel
+
+        loaded = RockModel.load(model)
+        sample_size = loaded.metadata["sample_size"]
+        fit = fit_labels.read_text().split()
+        got = assigned.read_text().split()
+        assert len(got) == len(fit)
+        mismatches = sum(1 for a, b in zip(fit, got) if a != b)
+        # only sampled records may differ (they were clustered directly,
+        # not labeled); every labeled record must round-trip exactly
+        assert mismatches <= sample_size
+
+    def test_assign_parallel_matches_serial(self, basket_file, tmp_path, capsys):
+        model = tmp_path / "model.json"
+        run(
+            capsys, "fit-model", "--input", str(basket_file),
+            "--theta", "0.45", "-k", "4", "--sample", "300",
+            "--model", str(model),
+        )
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        run(capsys, "assign", "--model", str(model),
+            "--input", str(basket_file), "--output", str(serial))
+        run(capsys, "assign", "--model", str(model),
+            "--input", str(basket_file), "--output", str(parallel),
+            "--workers", "2", "--chunk-size", "64")
+        assert serial.read_text() == parallel.read_text()
+
+    def test_assign_uci(self, tmp_path, capsys):
+        data = tmp_path / "votes.data"
+        run(capsys, "generate", "votes", "--out", str(data))
+        model = tmp_path / "votes-model.json"
+        run(
+            capsys, "fit-model", "--input", str(data), "--format", "uci",
+            "--theta", "0.73", "-k", "2", "--sample", "300",
+            "--min-cluster-size", "5", "--model", str(model),
+        )
+        code, stdout = run(
+            capsys, "assign", "--model", str(model),
+            "--input", str(data), "--format", "uci",
+        )
+        assert code == 0
+        assert "records" in stdout
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

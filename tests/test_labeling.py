@@ -57,8 +57,8 @@ class TestClusterLabeler:
             theta=0.25,
             similarity=lambda a, b: JaccardSimilarity()(a, b),
         )
-        assert slow._jaccard_index is None
-        assert fast._jaccard_index is not None
+        assert slow.index is None
+        assert fast.index is not None
         for p in points:
             assert fast.neighbor_counts(p).tolist() == slow.neighbor_counts(p).tolist()
             assert fast.assign(p) == slow.assign(p)
@@ -82,8 +82,50 @@ class TestClusterLabeler:
             ClusterLabeler([], theta=0.5)
         with pytest.raises(ValueError, match="non-empty"):
             ClusterLabeler([[]], theta=0.5)
+        with pytest.raises(ValueError, match="non-empty"):
+            ClusterLabeler([[], []], theta=0.5)
         with pytest.raises(ValueError, match="theta"):
             ClusterLabeler([[Transaction({1})]], theta=2.0)
+
+
+class TestEmptyLabelingSet:
+    """A cluster whose L_i drew zero points must never win an assignment.
+
+    The normaliser for an empty set is ``(0+1)^f = 1`` -- its score is
+    ``0 / 1 = 0``, never positive, so it can only "win" if every other
+    cluster also scores 0, and that case is an outlier (-1) by
+    definition."""
+
+    def test_empty_set_is_never_assigned(self):
+        labeler = ClusterLabeler([CLUSTER_A, []], theta=0.4)
+        assert labeler.assign(Transaction({1, 2, 3})) == 0
+        # a point nobody neighbors is an outlier, not a member of the
+        # empty cluster
+        assert labeler.assign(Transaction({99})) == -1
+
+    def test_empty_set_scores_zero_not_spurious(self):
+        labeler = ClusterLabeler([[], CLUSTER_B], theta=0.4)
+        scores = labeler.scores(Transaction({7, 8, 9}))
+        assert scores[0] == 0.0
+        assert scores[1] > 0.0
+        assert labeler.assign(Transaction({7, 8, 9})) == 1
+
+    def test_empty_set_with_scalar_similarity_path(self):
+        labeler = ClusterLabeler(
+            [CLUSTER_A, []],
+            theta=0.4,
+            similarity=lambda a, b: JaccardSimilarity()(a, b),
+        )
+        assert labeler.index is None
+        assert labeler.assign(Transaction({1, 2, 3})) == 0
+        assert labeler.assign(Transaction({99})) == -1
+
+    def test_assign_all_with_empty_set(self):
+        labeler = ClusterLabeler([CLUSTER_A, [], CLUSTER_B], theta=0.4)
+        labels = labeler.assign_all(
+            [Transaction({1, 2, 3}), Transaction({7, 8, 9}), Transaction({42})]
+        )
+        assert labels.tolist() == [0, 2, -1]
 
 
 class TestDrawLabelingSets:

@@ -11,12 +11,22 @@ from repro.core.links import LinkTable
 from repro.core.pipeline import RockPipeline
 from repro.core.rock import cluster_with_links
 from repro.core.serialization import (
+    FORMAT_VERSION,
     load_result,
     pipeline_result_from_dict,
     pipeline_result_to_dict,
     rock_result_from_dict,
     rock_result_to_dict,
     save_result,
+)
+from repro.core.similarity import (
+    JaccardSimilarity,
+    LpSimilarity,
+    MissingAwareJaccard,
+    OverlapSimilarity,
+    SimilarityTable,
+    similarity_from_dict,
+    similarity_to_dict,
 )
 from repro.data.transactions import Transaction, TransactionDataset
 
@@ -91,6 +101,62 @@ class TestPipelineResultRoundTrip:
         assert back.n_clusters == pipeline_result.n_clusters
         assert back.cluster_sizes() == pipeline_result.cluster_sizes()
         assert back.clustering_seconds() >= 0
+
+
+class TestSimilarityRecorded:
+    def test_default_similarity_round_trips_as_none(self, pipeline_result):
+        data = pipeline_result_to_dict(pipeline_result)
+        assert data["version"] == FORMAT_VERSION
+        assert data["similarity"] is None
+        assert pipeline_result_from_dict(data).similarity is None
+
+    def test_named_similarity_round_trips(self):
+        ds = TransactionDataset(
+            [{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {8, 9, 10}, {8, 9, 11}] * 6
+        )
+        result = RockPipeline(
+            k=2, theta=0.4, sample_size=20, seed=0,
+            similarity=OverlapSimilarity(),
+        ).fit(ds)
+        back = pipeline_result_from_dict(pipeline_result_to_dict(result))
+        assert isinstance(back.similarity, OverlapSimilarity)
+
+    def test_version1_files_still_load(self, pipeline_result):
+        data = pipeline_result_to_dict(pipeline_result)
+        # forge a version-1 file: no similarity entry existed back then
+        data["version"] = 1
+        del data["similarity"]
+        data["rock_result"]["version"] = 1
+        back = pipeline_result_from_dict(data)
+        assert back.similarity is None
+        assert np.array_equal(back.labels, pipeline_result.labels)
+
+    @pytest.mark.parametrize(
+        "similarity",
+        [
+            JaccardSimilarity(),
+            OverlapSimilarity(),
+            MissingAwareJaccard(),
+            LpSimilarity(p=1.0, scale=3.0),
+            LpSimilarity(p=float("inf")),
+        ],
+    )
+    def test_builtin_similarities_round_trip(self, similarity):
+        back = similarity_from_dict(similarity_to_dict(similarity))
+        assert type(back) is type(similarity)
+        if isinstance(similarity, LpSimilarity):
+            assert back.p == similarity.p
+            assert back.scale == similarity.scale
+
+    def test_custom_similarity_recorded_by_name_only(self):
+        table = SimilarityTable({("a", "b"): 0.5})
+        data = similarity_to_dict(table)
+        assert data == {"name": "SimilarityTable", "custom": True}
+        assert similarity_from_dict(data) is None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown similarity"):
+            similarity_from_dict({"name": "from-the-future"})
 
 
 class TestErrors:

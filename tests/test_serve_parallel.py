@@ -1,0 +1,83 @@
+"""Tests for the chunked multiprocessing assignment executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import SimilarityTable
+from repro.data.transactions import Transaction
+from repro.serve import AssignmentEngine, RockModel, ServeMetrics, assign_stream
+from repro.serve.parallel import _chunks, default_workers
+
+CLUSTER_A = [Transaction({1, 2, 3}), Transaction({1, 2, 4}), Transaction({2, 3, 4})]
+CLUSTER_B = [Transaction({7, 8, 9}), Transaction({7, 8, 10})]
+
+
+@pytest.fixture
+def model():
+    return RockModel(
+        labeling_sets=[CLUSTER_A, CLUSTER_B],
+        theta=0.4,
+        f_theta=(1 - 0.4) / (1 + 0.4),
+    )
+
+
+@pytest.fixture
+def points():
+    out = []
+    for i in range(200):
+        if i % 3 == 0:
+            out.append(Transaction({1, 2, (i % 4) + 3}))
+        elif i % 3 == 1:
+            out.append(Transaction({7, 8, (i % 3) + 9}))
+        else:
+            out.append(Transaction({100 + i}))
+    return out
+
+
+class TestAssignStream:
+    def test_serial_matches_engine(self, model, points):
+        expected = AssignmentEngine(model).assign_batch(points)
+        got = assign_stream(model, iter(points), workers=1, chunk_size=17)
+        assert np.array_equal(got, expected)
+
+    def test_parallel_matches_serial_and_preserves_order(self, model, points):
+        expected = assign_stream(model, points, workers=1, chunk_size=16)
+        got = assign_stream(model, iter(points), workers=2, chunk_size=16)
+        assert np.array_equal(got, expected)
+
+    def test_chunk_size_does_not_change_labels(self, model, points):
+        a = assign_stream(model, points, workers=2, chunk_size=7)
+        b = assign_stream(model, points, workers=2, chunk_size=64)
+        assert np.array_equal(a, b)
+
+    def test_unserialisable_model_falls_back_to_serial(self, points):
+        table = SimilarityTable({("p", "a1"): 0.9})
+        model = RockModel(
+            labeling_sets=[["a1"], ["b1"]], theta=0.5, f_theta=0.3,
+            similarity=table,
+        )
+        labels = assign_stream(model, ["p", "zzz"], workers=4)
+        assert labels.tolist() == [0, -1]
+
+    def test_metrics_recorded(self, model, points):
+        metrics = ServeMetrics()
+        assign_stream(model, points, workers=2, chunk_size=32, metrics=metrics)
+        snap = metrics.snapshot()
+        assert snap["points"] == len(points)
+        assert "assign_stream" in snap["latency"]
+
+    def test_empty_stream(self, model):
+        assert assign_stream(model, [], workers=2).shape == (0,)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError, match="chunk_size"):
+            assign_stream(model, [], chunk_size=0)
+
+
+def test_chunks_helper():
+    assert list(_chunks(range(7), 3)) == [[0, 1, 2], [3, 4, 5], [6]]
+    assert list(_chunks([], 3)) == []
+
+
+def test_default_workers_bounded():
+    assert 1 <= default_workers() <= 8

@@ -1,0 +1,110 @@
+"""Tests for the ClusteringService facade and serve metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import RockPipeline
+from repro.data.io import write_transactions
+from repro.data.transactions import Transaction, TransactionDataset
+from repro.serve import ClusteringService, RockModel, ServeMetrics
+from repro.serve.metrics import BATCH_SIZE_BUCKETS
+
+
+@pytest.fixture
+def dataset():
+    return TransactionDataset(
+        [{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {8, 9, 10}, {8, 9, 11}, {8, 10, 11}] * 20
+    )
+
+
+@pytest.fixture
+def model_path(dataset, tmp_path):
+    _, model = RockPipeline(k=2, theta=0.4, sample_size=40, seed=0).fit_model(dataset)
+    path = tmp_path / "model.json"
+    model.save(path)
+    return path
+
+
+class TestClusteringService:
+    def test_from_file_and_assign(self, model_path, dataset):
+        service = ClusteringService.from_file(model_path)
+        assert service.n_clusters == 2
+        label = service.assign(dataset[0])
+        assert label in (0, 1)
+        labels = service.assign_batch(list(dataset))
+        assert labels.shape == (len(dataset),)
+
+    def test_assign_stream_workers(self, model_path, dataset):
+        service = ClusteringService.from_file(model_path)
+        serial = service.assign_stream(list(dataset), workers=1)
+        parallel = service.assign_stream(list(dataset), workers=2, chunk_size=16)
+        assert np.array_equal(serial, parallel)
+
+    def test_assign_file_round_trip(self, model_path, dataset, tmp_path):
+        data_path = tmp_path / "held.txt"
+        write_transactions(list(dataset), data_path)
+        out_path = tmp_path / "labels.txt"
+        service = ClusteringService.from_file(model_path)
+        labels = service.assign_file(data_path, output=out_path)
+        written = [int(l) for l in out_path.read_text().split()]
+        assert written == labels.tolist()
+        assert service.assign_file(data_path, input_format="transactions").tolist() \
+            == labels.tolist()
+
+    def test_assign_file_unknown_format(self, model_path, tmp_path):
+        service = ClusteringService.from_file(model_path)
+        with pytest.raises(ValueError, match="unknown input format"):
+            service.assign_file(tmp_path / "x.txt", input_format="parquet")
+
+    def test_describe(self, model_path):
+        service = ClusteringService.from_file(model_path)
+        info = service.describe()
+        assert info["n_clusters"] == 2
+        assert info["vectorized"] is True
+        assert len(info["labeling_set_sizes"]) == 2
+        assert info["metadata"]["k"] == 2
+
+    def test_metrics_flow_through(self, model_path, dataset):
+        service = ClusteringService.from_file(model_path)
+        service.assign_batch(list(dataset)[:10])
+        service.assign(dataset[0])
+        snap = service.metrics_snapshot()
+        assert snap["requests"] == 2
+        assert snap["points"] == 11
+
+
+class TestServeMetrics:
+    def test_snapshot_shape(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(5, 1, 0.01, cache_hits=2, cache_misses=3)
+        metrics.observe_latency("load", 0.5)
+        snap = metrics.snapshot()
+        assert snap["requests"] == 1
+        assert snap["points"] == 5
+        assert snap["outlier_rate"] == pytest.approx(0.2)
+        assert snap["cache"]["hit_rate"] == pytest.approx(0.4)
+        assert snap["latency"]["load"]["count"] == 1
+        assert sum(snap["batch_sizes"].values()) == 1
+
+    def test_bucketing(self):
+        metrics = ServeMetrics()
+        for n in (1, 2, 100, 10_000):
+            metrics.record_batch(n, 0, 0.0)
+        snap = metrics.snapshot()
+        assert snap["batch_sizes"]["<=1"] == 1
+        assert snap["batch_sizes"]["<=8"] == 1
+        assert snap["batch_sizes"]["<=512"] == 1
+        assert snap["batch_sizes"][f">{BATCH_SIZE_BUCKETS[-1]}"] == 1
+
+    def test_empty_snapshot(self):
+        snap = ServeMetrics().snapshot()
+        assert snap["requests"] == 0
+        assert snap["outlier_rate"] == 0.0
+        assert snap["cache"]["hit_rate"] == 0.0
+
+    def test_render_is_printable(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(3, 1, 0.002)
+        text = metrics.render()
+        assert "requests" in text
+        assert "latency[assign]" in text
