@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast lint bench bench-serve example-serve
+.PHONY: test test-fast lint bench bench-smoke bench-serve example-serve
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -10,10 +10,16 @@ test-fast:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q -m "not slow"
 
 lint:
-	ruff check src tests
+	ruff check src tests benchmarks
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# tiny-n proof that the blocked fit path works and equals the dense
+# path -- fast enough for CI
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_blocked_fit.py -k smoke --benchmark-disable -s
 
 bench-serve:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \

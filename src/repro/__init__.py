@@ -38,6 +38,7 @@ from repro.core import (
     RockPipeline,
     RockResult,
     SimilarityTable,
+    blocked_neighbor_graph,
     cluster_with_links,
     compute_links,
     compute_neighbor_graph,
@@ -89,6 +90,7 @@ __all__ = [
     "TimeSeries",
     "Transaction",
     "TransactionDataset",
+    "blocked_neighbor_graph",
     "cluster_with_links",
     "compute_links",
     "compute_neighbor_graph",

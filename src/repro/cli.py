@@ -48,6 +48,30 @@ from repro.eval.metrics import (
 from repro.eval.reporting import format_table
 
 
+def _add_fit_memory_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--neighbor-method",
+        choices=["auto", "vectorized", "blocked", "bruteforce"],
+        default="auto",
+        help="neighbor kernel; 'blocked' forces the memory-bounded "
+        "row-block path, 'auto' picks it when the dense similarity "
+        "matrix would exceed the memory budget",
+    )
+    sub.add_argument(
+        "--memory-budget-mb", type=int, default=None,
+        help="dense-intermediate budget in MiB for the auto neighbor-"
+        "method heuristic (default 1024)",
+    )
+
+
+def _memory_budget_bytes(args: argparse.Namespace) -> int | None:
+    if getattr(args, "memory_budget_mb", None) is None:
+        return None
+    if args.memory_budget_mb < 1:
+        raise SystemExit("--memory-budget-mb must be positive")
+    return args.memory_budget_mb << 20
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -86,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="write per-record cluster labels here (default: stdout summary only)",
     )
+    _add_fit_memory_args(cluster)
 
     ev = sub.add_parser("evaluate", help="score predicted labels against truth")
     ev.add_argument("--predicted", required=True, type=Path)
@@ -135,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--labels", type=Path, default=None,
         help="also write the fit run's per-record labels here",
     )
+    _add_fit_memory_args(fit)
 
     assign = sub.add_parser(
         "assign", help="label a data file against a saved RockModel"
@@ -236,6 +262,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         similarity=similarity,
         sample_size=args.sample,
         min_cluster_size=args.min_cluster_size,
+        neighbor_method=args.neighbor_method,
+        memory_budget=_memory_budget_bytes(args),
         seed=args.seed,
     )
     result = pipeline.fit(points)
@@ -363,6 +391,8 @@ def cmd_fit_model(args: argparse.Namespace) -> int:
         sample_size=args.sample,
         min_cluster_size=args.min_cluster_size,
         labeling_fraction=args.labeling_fraction,
+        neighbor_method=args.neighbor_method,
+        memory_budget=_memory_budget_bytes(args),
         seed=args.seed,
     )
     result, model = pipeline.fit_model(points)

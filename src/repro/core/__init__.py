@@ -44,10 +44,13 @@ from repro.core.links import (
     weighted_link_matrix,
 )
 from repro.core.neighbors import (
+    DEFAULT_MEMORY_BUDGET,
     NeighborGraph,
     adjacency_from_similarity_matrix,
+    blocked_neighbor_graph,
     compute_neighbor_graph,
     similarity_matrix,
+    supports_blocked,
 )
 from repro.core.outliers import prune_sparse_points, weed_small_clusters
 from repro.core.pipeline import PipelineResult, RockPipeline
@@ -98,7 +101,9 @@ __all__ = [
     "RockResult",
     "SimilarityFunction",
     "SimilarityTable",
+    "DEFAULT_MEMORY_BUDGET",
     "attribute_item",
+    "blocked_neighbor_graph",
     "cluster_with_links",
     "compute_links",
     "compute_neighbor_graph",
@@ -123,6 +128,7 @@ __all__ = [
     "sparse_link_table",
     "weighted_link_matrix",
     "similarity_matrix",
+    "supports_blocked",
     "adjacency_from_similarity_matrix",
     "weed_small_clusters",
 ]

@@ -79,9 +79,16 @@ class UnionFind:
 def connected_components(graph: NeighborGraph) -> list[list[int]]:
     """Connected components of a neighbor graph, largest first."""
     uf = UnionFind(graph.n)
-    rows, cols = np.nonzero(np.triu(graph.adjacency, k=1))
-    for a, b in zip(rows.tolist(), cols.tolist()):
-        uf.union(a, b)
+    if graph.has_dense:
+        rows, cols = np.nonzero(np.triu(graph.adjacency, k=1))
+        for a, b in zip(rows.tolist(), cols.tolist()):
+            uf.union(a, b)
+    else:
+        # sparse-backed graph (blocked path): walk the neighbor lists
+        for a, neighbors in enumerate(graph.neighbor_lists()):
+            for b in neighbors.tolist():
+                if a < b:
+                    uf.union(a, b)
     return uf.components()
 
 

@@ -153,18 +153,23 @@ def compute_links(graph: NeighborGraph, method: str = "auto") -> LinkTable:
     ``auto`` uses the Figure 4 sparse algorithm when the pair-increment
     work ``sum_i m_i^2`` is small relative to the ``n^2`` (scaled by a
     constant reflecting numpy's matmul advantage) of the dense product,
-    and the dense matrix square otherwise.  ``dense`` / ``sparse``
-    force a path.
+    and the dense matrix square otherwise.  A sparse-backed graph (the
+    blocked fit path) always stays sparse unless ``dense`` is forced --
+    the whole point of that path is that no ``n x n`` array ever
+    exists.  ``dense`` / ``sparse`` force a path.
     """
     if method not in ("auto", "dense", "sparse"):
         raise ValueError(f"unknown method {method!r}")
     if method == "auto":
-        degrees = graph.degrees()
-        pair_work = int(np.sum(degrees.astype(np.float64) ** 2))
-        # the dense path is one BLAS matrix square (cheap until the n x n
-        # product itself dominates memory); the sparse path costs one
-        # Python dict increment per neighbor pair
-        method = "sparse" if pair_work < 4 * graph.n * graph.n else "dense"
+        if not graph.has_dense:
+            method = "sparse"
+        else:
+            degrees = graph.degrees()
+            pair_work = int(np.sum(degrees.astype(np.float64) ** 2))
+            # the dense path is one BLAS matrix square (cheap until the
+            # n x n product itself dominates memory); the sparse path
+            # costs one Python dict increment per neighbor pair
+            method = "sparse" if pair_work < 4 * graph.n * graph.n else "dense"
     if method == "sparse":
         return sparse_link_table(graph)
     return LinkTable.from_dense(dense_link_matrix(graph))

@@ -2,8 +2,9 @@
 
 A pair of points are *neighbors* when ``sim(p_i, p_j) >= theta`` for a
 user-chosen threshold ``theta`` in [0, 1].  The neighbor relation over a
-point set is captured by a :class:`NeighborGraph` -- a symmetric boolean
-adjacency with an empty diagonal.
+point set is captured by a :class:`NeighborGraph` -- a symmetric
+self-loop-free graph stored either as a dense boolean adjacency or as
+per-point sorted neighbor lists (the Section 4.5 ``nbrlist`` view).
 
 A point is **not** its own neighbor here.  The paper's Example 1.2
 counts 5 common neighbors for the pair ({1,2,3}, {1,2,4}) -- a count
@@ -11,20 +12,31 @@ that excludes the two endpoints themselves -- so the operative neighbor
 lists used by link computation must exclude self-loops (otherwise each
 adjacent pair would gain two spurious links from its own endpoints).
 
-Two computation paths are provided:
+Three computation paths are provided:
 
 * a **vectorised** path for datasets whose similarity exposes a
   ``pairwise`` bulk method (Jaccard over transactions, missing-aware
   Jaccard over records) -- set intersections become one integer matrix
   product, mirroring the adjacency-matrix view of Section 4.4;
+* a **blocked** path (:func:`blocked_neighbor_graph`) computing the
+  same similarity one row-block at a time and emitting sparse neighbor
+  lists, so the dense ``n x n`` similarity matrix never exists -- the
+  only path whose peak memory is ``O(block_size * n)`` instead of
+  ``O(n^2)``;
 * a **generic** O(n^2) path calling ``sim(a, b)`` pairwise, which works
   for any :class:`~repro.core.similarity.SimilarityFunction` including
   domain-expert similarity tables.
+
+``compute_neighbor_graph(method="auto")`` picks the blocked path
+automatically whenever the dense similarity matrix would not fit the
+``memory_budget`` (default :data:`DEFAULT_MEMORY_BUDGET`) and the
+similarity/dataset pair supports blocking; the three paths produce
+identical graphs (property-tested).
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 from typing import Any
 
 import numpy as np
@@ -33,9 +45,33 @@ from repro.core.similarity import JaccardSimilarity, OverlapSimilarity, Similari
 from repro.data.records import CategoricalDataset, CategoricalRecord
 from repro.data.transactions import TransactionDataset
 
+# Dense-intermediate budget (bytes) used by the ``auto`` method choice
+# and as the default blocked-kernel working-set bound: one n x n float64
+# similarity matrix must fit, or the blocked path takes over.
+DEFAULT_MEMORY_BUDGET = 1 << 30
+
+# A sparse-backed graph refuses to synthesize a dense adjacency bigger
+# than this (bytes) -- consumers that truly need the dense view at that
+# scale should not exist on the blocked path.
+DENSIFY_LIMIT = 1 << 30
+
+
+def dense_similarity_bytes(n: int) -> int:
+    """Bytes of the dense ``n x n`` float64 similarity matrix."""
+    return 8 * n * n
+
 
 class NeighborGraph:
-    """Symmetric neighbor adjacency over points ``0 .. n-1``.
+    """Symmetric neighbor relation over points ``0 .. n-1``.
+
+    Backed either by a dense ``(n, n)`` boolean adjacency (validated
+    symmetric and hollow) or by per-point sorted neighbor-index lists
+    (:meth:`from_neighbor_lists`, produced by the blocked kernel).  The
+    two representations are interchangeable: ``neighbor_lists()`` is
+    derived lazily from a dense backing, and ``adjacency`` is
+    synthesized lazily from a sparse backing -- but only while
+    ``n^2`` bytes stay under :data:`DENSIFY_LIMIT`, so the blocked fit
+    path can never accidentally materialise the quadratic matrix.
 
     Parameters
     ----------
@@ -55,25 +91,91 @@ class NeighborGraph:
             raise ValueError("adjacency must have an empty diagonal (no self loops)")
         if not np.array_equal(adjacency, adjacency.T):
             raise ValueError("adjacency must be symmetric")
-        self._adjacency = adjacency
+        self._adjacency: np.ndarray | None = adjacency
+        self._n = adjacency.shape[0]
         self.theta = theta
         self._neighbor_lists: list[np.ndarray] | None = None
 
+    @classmethod
+    def from_neighbor_lists(
+        cls,
+        neighbor_lists: Sequence[np.ndarray | Sequence[int]],
+        theta: float | None = None,
+        validate: bool = True,
+    ) -> "NeighborGraph":
+        """Build a sparse-backed graph from per-point neighbor lists.
+
+        ``neighbor_lists[i]`` holds the sorted indices of point ``i``'s
+        neighbors.  With ``validate`` the lists are checked to be
+        in-range, sorted, self-loop-free and mutual (``j`` listing ``i``
+        whenever ``i`` lists ``j``) -- an O(E log E) pass; internal
+        callers whose construction is symmetric by design skip it.
+        """
+        lists = [np.asarray(lst, dtype=np.int64) for lst in neighbor_lists]
+        n = len(lists)
+        if validate:
+            for i, lst in enumerate(lists):
+                if lst.size == 0:
+                    continue
+                if lst.min() < 0 or lst.max() >= n:
+                    raise ValueError(f"neighbor index out of range in list {i}")
+                if np.any(np.diff(lst) <= 0):
+                    raise ValueError(f"neighbor list {i} must be strictly sorted")
+                if np.searchsorted(lst, i) < lst.size and lst[np.searchsorted(lst, i)] == i:
+                    raise ValueError(f"point {i} lists itself as a neighbor")
+            for i, lst in enumerate(lists):
+                for j in lst.tolist():
+                    other = lists[j]
+                    pos = np.searchsorted(other, i)
+                    if pos >= other.size or other[pos] != i:
+                        raise ValueError(
+                            f"asymmetric neighbor lists: {i} lists {j} "
+                            f"but not vice versa"
+                        )
+        graph = cls.__new__(cls)
+        graph._adjacency = None
+        graph._neighbor_lists = lists
+        graph._n = n
+        graph.theta = theta
+        return graph
+
     @property
     def n(self) -> int:
-        return self._adjacency.shape[0]
+        return self._n
 
     def __len__(self) -> int:
         return self.n
 
     @property
+    def has_dense(self) -> bool:
+        """Whether the dense adjacency is already materialised."""
+        return self._adjacency is not None
+
+    @property
     def adjacency(self) -> np.ndarray:
-        """The boolean adjacency matrix (do not mutate)."""
+        """The boolean adjacency matrix (do not mutate).
+
+        Synthesized lazily for sparse-backed graphs; refuses when the
+        ``n x n`` matrix would exceed :data:`DENSIFY_LIMIT` bytes.
+        """
+        if self._adjacency is None:
+            if self._n * self._n > DENSIFY_LIMIT:
+                raise ValueError(
+                    f"refusing to densify a {self._n}x{self._n} sparse "
+                    "neighbor graph (would exceed the densify limit); use "
+                    "neighbor_lists() / degrees() instead"
+                )
+            adjacency = np.zeros((self._n, self._n), dtype=bool)
+            assert self._neighbor_lists is not None
+            for i, neighbors in enumerate(self._neighbor_lists):
+                adjacency[i, neighbors] = True
+            self._adjacency = adjacency
         return self._adjacency
 
     def neighbor_lists(self) -> list[np.ndarray]:
         """``nbrlist[i]`` of Figure 4: sorted neighbor indices per point."""
         if self._neighbor_lists is None:
+            assert self._adjacency is not None
             self._neighbor_lists = [
                 np.flatnonzero(row) for row in self._adjacency
             ]
@@ -81,22 +183,49 @@ class NeighborGraph:
 
     def degrees(self) -> np.ndarray:
         """Number of neighbors of each point."""
+        if self._neighbor_lists is not None:
+            return np.array([lst.size for lst in self._neighbor_lists], dtype=np.int64)
+        assert self._adjacency is not None
         return self._adjacency.sum(axis=1, dtype=np.int64)
 
+    def edge_count(self) -> int:
+        """Number of undirected neighbor edges."""
+        return int(self.degrees().sum()) // 2
+
     def are_neighbors(self, i: int, j: int) -> bool:
-        return bool(self._adjacency[i, j])
+        if self._adjacency is not None:
+            return bool(self._adjacency[i, j])
+        assert self._neighbor_lists is not None
+        lst = self._neighbor_lists[i]
+        pos = int(np.searchsorted(lst, j))
+        return pos < lst.size and int(lst[pos]) == j
 
     def isolated_points(self) -> np.ndarray:
         """Indices of points with zero neighbors (outlier candidates, §4.6)."""
         return np.flatnonzero(self.degrees() == 0)
 
     def subgraph(self, indices: Sequence[int]) -> "NeighborGraph":
-        """The induced neighbor graph on a subset of points (reindexed)."""
+        """The induced neighbor graph on a subset of points (reindexed).
+
+        Preserves the backing representation: a sparse-backed graph
+        yields a sparse-backed subgraph (the blocked fit path prunes
+        outliers without ever densifying).
+        """
         idx = np.asarray(list(indices), dtype=np.int64)
-        return NeighborGraph(self._adjacency[np.ix_(idx, idx)], theta=self.theta)
+        if self._adjacency is not None:
+            return NeighborGraph(self._adjacency[np.ix_(idx, idx)], theta=self.theta)
+        assert self._neighbor_lists is not None
+        remap = np.full(self._n, -1, dtype=np.int64)
+        remap[idx] = np.arange(idx.size, dtype=np.int64)
+        lists = []
+        for old in idx.tolist():
+            mapped = remap[self._neighbor_lists[old]]
+            lists.append(np.sort(mapped[mapped >= 0]))
+        return NeighborGraph.from_neighbor_lists(lists, theta=self.theta, validate=False)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"NeighborGraph(n={self.n}, edges={int(self._adjacency.sum()) // 2})"
+        backing = "dense" if self.has_dense else "sparse"
+        return f"NeighborGraph(n={self.n}, edges={self.edge_count()}, {backing})"
 
 
 def similarity_matrix(
@@ -132,6 +261,8 @@ def compute_neighbor_graph(
     theta: float,
     similarity: SimilarityFunction | None = None,
     method: str = "auto",
+    memory_budget: int | None = None,
+    block_size: int | None = None,
 ) -> NeighborGraph:
     """Build the neighbor graph of a point set at threshold ``theta``.
 
@@ -149,15 +280,40 @@ def compute_neighbor_graph(
         :class:`~repro.core.similarity.MissingAwareJaccard` explicitly
         for the per-pair restriction of the time-series variant).
     method:
-        ``"auto"`` (vectorised when possible), ``"vectorized"`` (require
-        the bulk path), or ``"bruteforce"`` (always pairwise calls).
+        ``"auto"`` (blocked when the dense matrix would exceed the
+        memory budget, else vectorised when possible), ``"vectorized"``
+        (require the bulk path), ``"blocked"`` (require the row-blocked
+        sparse path), or ``"bruteforce"`` (always pairwise calls).
+    memory_budget:
+        Bytes the dense similarity intermediates may occupy before
+        ``auto`` switches to the blocked path (default
+        :data:`DEFAULT_MEMORY_BUDGET`).
+    block_size:
+        Rows per block for the blocked path; ``None`` sizes blocks to
+        the memory budget.
     """
     if not 0.0 <= theta <= 1.0:
         raise ValueError(f"theta must be in [0, 1], got {theta}")
-    if method not in ("auto", "vectorized", "bruteforce"):
+    if method not in ("auto", "vectorized", "bruteforce", "blocked"):
         raise ValueError(f"unknown method {method!r}")
     if similarity is None:
         similarity = JaccardSimilarity()
+    budget = DEFAULT_MEMORY_BUDGET if memory_budget is None else memory_budget
+
+    if method == "blocked":
+        return blocked_neighbor_graph(
+            points, theta, similarity=similarity,
+            block_size=block_size, memory_budget=budget,
+        )
+    if (
+        method == "auto"
+        and supports_blocked(points, similarity)
+        and dense_similarity_bytes(len(points)) > budget
+    ):
+        return blocked_neighbor_graph(
+            points, theta, similarity=similarity,
+            block_size=block_size, memory_budget=budget,
+        )
 
     sim_matrix = None
     if method in ("auto", "vectorized"):
@@ -170,6 +326,187 @@ def compute_neighbor_graph(
     if sim_matrix is None:
         sim_matrix = _bruteforce_similarity(points, similarity)
     return NeighborGraph(adjacency_from_similarity_matrix(sim_matrix, theta), theta=theta)
+
+
+# ---------------------------------------------------------------------------
+# blocked kernel
+# ---------------------------------------------------------------------------
+
+def supports_blocked(points: Any, similarity: SimilarityFunction | None = None) -> bool:
+    """Whether :func:`blocked_neighbor_graph` has a kernel for this input.
+
+    Blocking needs a similarity whose row-block can be computed from a
+    compact per-point encoding: Jaccard/overlap over transactions (or
+    ``A.v``-encoded categorical records) and the missing-aware Jaccard
+    over records.
+    """
+    if similarity is None:
+        similarity = JaccardSimilarity()
+    from repro.core.similarity import MissingAwareJaccard
+
+    from repro.data.transactions import Transaction
+
+    if isinstance(points, TransactionDataset):
+        return isinstance(similarity, (JaccardSimilarity, OverlapSimilarity))
+    if isinstance(points, CategoricalDataset):
+        return isinstance(similarity, (JaccardSimilarity, MissingAwareJaccard))
+    if isinstance(points, Sequence) and len(points) > 0:
+        if isinstance(points[0], CategoricalRecord):
+            return isinstance(similarity, MissingAwareJaccard)
+        if isinstance(points[0], (Transaction, frozenset, set)):
+            # e.g. a sampled subset of a dataset (the pipeline passes
+            # plain lists); wrapped into a TransactionDataset on the fly
+            return isinstance(similarity, (JaccardSimilarity, OverlapSimilarity))
+    return False
+
+
+def blocked_neighbor_graph(
+    points: Any,
+    theta: float,
+    similarity: SimilarityFunction | None = None,
+    block_size: int | None = None,
+    memory_budget: int | None = None,
+) -> NeighborGraph:
+    """Memory-bounded neighbor graph: threshold similarity block by block.
+
+    Computes the same similarity values as the vectorised bulk path,
+    but one ``(block_size, n)`` row-block at a time: score the block
+    with a single matmul against the full encoding, threshold it, emit
+    each row's sorted neighbor indices, and discard the block.  Peak
+    additional memory is ``O(block_size * n)`` -- the full ``n x n``
+    float similarity matrix never exists, which is what lets the fit
+    path run at sample sizes where the dense matrix would not fit in
+    RAM (the Section 4.4 adjacency view scaled past main memory).
+
+    The emitted graph is sparse-backed
+    (:meth:`NeighborGraph.from_neighbor_lists`) and exactly equals the
+    dense path's thresholded graph (property-tested): block scoring
+    reproduces the bulk similarity's integer intersections and float
+    divisions bit for bit.
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ValueError(f"theta must be in [0, 1], got {theta}")
+    if similarity is None:
+        similarity = JaccardSimilarity()
+    if block_size is not None and block_size < 1:
+        raise ValueError("block_size must be positive")
+    if not supports_blocked(points, similarity):
+        raise ValueError(
+            "blocked method requested but the similarity/dataset "
+            "combination has no blocked kernel"
+        )
+    n = len(points)
+    if block_size is None:
+        budget = DEFAULT_MEMORY_BUDGET if memory_budget is None else memory_budget
+        # working set per block row: float32 intersections + float64
+        # similarities + int64 unions + bool adjacency ~= 24 bytes/entry,
+        # with headroom for temporaries
+        block_size = int(budget // max(32 * n, 1))
+        block_size = max(16, min(block_size, 8192, max(n, 16)))
+
+    lists: list[np.ndarray] = []
+    for start, sim_block in _iter_similarity_blocks(points, similarity, block_size):
+        adj_block = sim_block >= theta
+        # clear the self-loop positions that fall inside this block
+        rows = np.arange(adj_block.shape[0])
+        adj_block[rows, start + rows] = False
+        for row in adj_block:
+            lists.append(np.flatnonzero(row))
+    return NeighborGraph.from_neighbor_lists(lists, theta=theta, validate=False)
+
+
+def _iter_similarity_blocks(
+    points: Any, similarity: SimilarityFunction, block_size: int
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(row_start, sim_rows)`` float64 blocks of the full matrix.
+
+    Each block reproduces the corresponding rows of the bulk
+    ``pairwise`` matrix exactly: intersections are exact small integers
+    (float32 matmuls are exact below 2**24), and the final division
+    happens in float64 on the same operands the dense path divides.
+    """
+    from repro.core.similarity import MissingAwareJaccard
+
+    if isinstance(points, CategoricalDataset):
+        if isinstance(similarity, MissingAwareJaccard):
+            yield from _missing_aware_blocks(list(points), block_size)
+            return
+        from repro.core.encoding import dataset_to_transactions
+
+        points = dataset_to_transactions(points)
+        similarity = JaccardSimilarity()
+    if isinstance(points, TransactionDataset):
+        yield from _transaction_blocks(points, similarity, block_size)
+        return
+    pts = list(points)
+    if pts and not isinstance(pts[0], CategoricalRecord):
+        # plain sequence of Transaction / set-like points
+        yield from _transaction_blocks(TransactionDataset(pts), similarity, block_size)
+        return
+    # sequence of CategoricalRecord with MissingAwareJaccard
+    yield from _missing_aware_blocks(pts, block_size)
+
+
+def _transaction_blocks(
+    dataset: TransactionDataset, similarity: SimilarityFunction, block_size: int
+) -> Iterator[tuple[int, np.ndarray]]:
+    n = len(dataset)
+    if n == 0:
+        return
+    # float32 keeps the matmul on the BLAS fast path; intersection
+    # counts are bounded by the vocabulary size, far below 2**24, so
+    # the products are exact integers
+    m = dataset.indicator_matrix().astype(np.float32)
+    mt = np.ascontiguousarray(m.T)
+    sizes = m.sum(axis=1, dtype=np.int64)
+    overlap = isinstance(similarity, OverlapSimilarity)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        inter = np.rint(m[start:stop] @ mt).astype(np.int64)
+        if overlap:
+            denom = np.minimum(sizes[start:stop, None], sizes[None, :])
+        else:
+            denom = sizes[start:stop, None] + sizes[None, :] - inter
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sim = np.where(denom > 0, inter / np.maximum(denom, 1), 0.0)
+        # identical-to-empty convention of the bulk paths: the diagonal
+        # is 1 even for empty transactions
+        rows = np.arange(stop - start)
+        sim[rows, start + rows] = 1.0
+        yield start, sim
+
+
+def _missing_aware_blocks(
+    records: list[CategoricalRecord], block_size: int
+) -> Iterator[tuple[int, np.ndarray]]:
+    n = len(records)
+    if n == 0:
+        return
+    schema = records[0].schema
+    d = len(schema)
+    codes = np.full((n, d), -1, dtype=np.int64)
+    value_codes: list[dict[Any, int]] = [{} for _ in range(d)]
+    for i, r in enumerate(records):
+        if r.schema != schema:
+            raise ValueError("records must share a schema")
+        for j, v in enumerate(r.values):
+            if v is None:
+                continue
+            table = value_codes[j]
+            codes[i, j] = table.setdefault(v, len(table))
+    present = (codes >= 0).astype(np.int64)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        shared = present[start:stop] @ present.T
+        sim = np.zeros((stop - start, n), dtype=np.float64)
+        for offset in range(stop - start):
+            i = start + offset
+            both = (codes[i] >= 0) & (codes >= 0)
+            equal = ((codes == codes[i]) & both).sum(axis=1)
+            union = 2 * shared[offset] - equal
+            with np.errstate(divide="ignore", invalid="ignore"):
+                sim[offset] = np.where(union > 0, equal / np.maximum(union, 1), 0.0)
+        yield start, sim
 
 
 def _bulk_similarity(points: Any, similarity: SimilarityFunction) -> np.ndarray | None:

@@ -117,6 +117,16 @@ class RockPipeline:
         Fraction of each cluster used as the labeling set ``L_i``.
     goodness_fn:
         Merge-goodness strategy (ablation hook).
+    neighbor_method:
+        ``"auto"`` / ``"vectorized"`` / ``"blocked"`` / ``"bruteforce"``
+        -- ``"blocked"`` forces the memory-bounded row-block kernel
+        (sparse neighbor lists, no dense ``n x n`` array); ``"auto"``
+        picks it whenever the dense similarity matrix would exceed
+        ``memory_budget``.
+    memory_budget:
+        Bytes of dense intermediates the fit may allocate before the
+        auto heuristic switches to the blocked path (default
+        :data:`repro.core.neighbors.DEFAULT_MEMORY_BUDGET`, 1 GiB).
     seed:
         Seed for sampling and labeling-set draws; runs are fully
         deterministic for a fixed seed.
@@ -136,6 +146,7 @@ class RockPipeline:
         goodness_fn: GoodnessFunction = normalized_goodness,
         link_method: str = "auto",
         neighbor_method: str = "auto",
+        memory_budget: int | None = None,
         seed: int | None = None,
     ) -> None:
         if k < 1:
@@ -156,6 +167,7 @@ class RockPipeline:
         self.goodness_fn = goodness_fn
         self.link_method = link_method
         self.neighbor_method = neighbor_method
+        self.memory_budget = memory_budget
         self.seed = seed
 
     def fit(self, points: Any, label_remaining: bool = True) -> PipelineResult:
@@ -186,7 +198,7 @@ class RockPipeline:
         start = time.perf_counter()
         graph = compute_neighbor_graph(
             sample_points, self.theta, similarity=self.similarity,
-            method=self.neighbor_method,
+            method=self.neighbor_method, memory_budget=self.memory_budget,
         )
         kept, discarded = prune_sparse_points(graph, max(self.min_neighbors, 0))
         outlier_sample_positions = list(discarded)

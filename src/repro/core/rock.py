@@ -205,6 +205,7 @@ def rock(
     link_method: str = "auto",
     neighbor_method: str = "auto",
     weighted_links: bool = False,
+    memory_budget: int | None = None,
 ) -> RockResult:
     """Convenience end-to-end run on in-memory points (no sampling/labeling).
 
@@ -212,7 +213,12 @@ def rock(
     and runs the merge loop to ``k`` clusters.  ``weighted_links``
     switches to the similarity-weighted link variant of
     :func:`repro.core.links.weighted_link_matrix` (a Section 3.2
-    "alternative definition"; see ablation A7).  For the full
+    "alternative definition"; see ablation A7).
+    ``neighbor_method="blocked"`` (or ``"auto"`` with a
+    ``memory_budget`` the dense similarity matrix would overflow) runs
+    the memory-bounded blocked kernel: neighbor lists are emitted one
+    row-block at a time and the link table stays sparse, so no
+    ``n x n`` array is ever materialised.  For the full
     sample -> prune -> cluster -> weed -> label pipeline of Figure 2,
     use :class:`repro.core.pipeline.RockPipeline`.
     """
@@ -231,7 +237,8 @@ def rock(
         links = LinkTable.from_dense(weighted_link_matrix(graph, sim))
     else:
         graph = compute_neighbor_graph(
-            points, theta, similarity=similarity, method=neighbor_method
+            points, theta, similarity=similarity, method=neighbor_method,
+            memory_budget=memory_budget,
         )
         links = compute_links(graph, method=link_method)
     return cluster_with_links(links, k=k, f_theta=f(theta), goodness_fn=goodness_fn)

@@ -86,9 +86,12 @@ class AssignmentEngine:
     def assign_batch(self, points: Sequence[Any]) -> np.ndarray:
         """Labels for a whole batch, in input order.
 
-        Cache lookups run first; only distinct uncached points are
-        scored, once each, regardless of how often they repeat in the
-        batch.
+        Cache lookups run first; each distinct *cacheable* point is
+        scored at most once per batch, regardless of how often it
+        repeats.  Uncacheable points (unhashable, or ``cache_size=0``)
+        bypass the cache entirely and are scored per occurrence; they
+        are reported to the metrics as ``uncacheable``, not as cache
+        misses, so the hit rate reflects real LRU lookups only.
         """
         start = time.perf_counter()
         points = list(points)
@@ -123,7 +126,8 @@ class AssignmentEngine:
             seconds=time.perf_counter() - start,
             stage="assign_batch" if self.vectorized else "assign_fallback",
             cache_hits=hits,
-            cache_misses=misses + len(uncached),
+            cache_misses=misses,
+            uncacheable=len(uncached),
         )
         return labels
 

@@ -44,6 +44,16 @@ class _LatencyStat:
             "max_seconds": self.max,
         }
 
+    def merge_snapshot(self, snap: dict[str, float]) -> None:
+        """Fold another stat's ``snapshot()`` into this one."""
+        count = int(snap["count"])
+        if count == 0:
+            return
+        self.count += count
+        self.total += snap["total_seconds"]
+        self.min = min(self.min, snap["min_seconds"])
+        self.max = max(self.max, snap["max_seconds"])
+
 
 class ServeMetrics:
     """Thread-safe counters and histograms for the assignment path."""
@@ -55,6 +65,7 @@ class ServeMetrics:
         self._outliers = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._uncacheable = 0
         self._batch_sizes = [0] * (len(BATCH_SIZE_BUCKETS) + 1)
         self._latency: dict[str, _LatencyStat] = {}
 
@@ -66,14 +77,22 @@ class ServeMetrics:
         stage: str = "assign",
         cache_hits: int = 0,
         cache_misses: int = 0,
+        uncacheable: int = 0,
     ) -> None:
-        """Record one assignment request over ``n_points`` points."""
+        """Record one assignment request over ``n_points`` points.
+
+        ``cache_hits`` / ``cache_misses`` count real LRU lookups only;
+        points that never reach the cache (unhashable, or caching
+        disabled) are reported as ``uncacheable`` so the hit rate stays
+        an honest lookup ratio.
+        """
         with self._lock:
             self._requests += 1
             self._points += n_points
             self._outliers += n_outliers
             self._cache_hits += cache_hits
             self._cache_misses += cache_misses
+            self._uncacheable += uncacheable
             self._batch_sizes[self._bucket(n_points)] += 1
             self._latency.setdefault(stage, _LatencyStat()).observe(seconds)
 
@@ -81,6 +100,34 @@ class ServeMetrics:
         """Record wall-clock seconds for an arbitrary named stage."""
         with self._lock:
             self._latency.setdefault(stage, _LatencyStat()).observe(seconds)
+
+    def merge(self, snap: dict[str, Any]) -> None:
+        """Fold a ``snapshot()`` dict into this sink.
+
+        The multiprocessing :func:`repro.serve.parallel.assign_stream`
+        path uses this to surface per-worker activity: each worker
+        records into its own :class:`ServeMetrics`, ships the snapshot
+        back with its labels, and the caller's sink merges it.  Every
+        counter is additive; latency stats combine count/total/min/max.
+        """
+        cache = snap.get("cache", {})
+        with self._lock:
+            self._requests += int(snap.get("requests", 0))
+            self._points += int(snap.get("points", 0))
+            self._outliers += int(snap.get("outliers", 0))
+            self._cache_hits += int(cache.get("hits", 0))
+            self._cache_misses += int(cache.get("misses", 0))
+            self._uncacheable += int(cache.get("uncacheable", 0))
+            sizes = snap.get("batch_sizes", {})
+            labels = [f"<={edge}" for edge in BATCH_SIZE_BUCKETS] + [
+                f">{BATCH_SIZE_BUCKETS[-1]}"
+            ]
+            for i, label in enumerate(labels):
+                self._batch_sizes[i] += int(sizes.get(label, 0))
+            for stage, stat_snap in snap.get("latency", {}).items():
+                self._latency.setdefault(stage, _LatencyStat()).merge_snapshot(
+                    stat_snap
+                )
 
     @staticmethod
     def _bucket(n_points: int) -> int:
@@ -106,6 +153,8 @@ class ServeMetrics:
                 "cache": {
                     "hits": self._cache_hits,
                     "misses": self._cache_misses,
+                    "uncacheable": self._uncacheable,
+                    "lookups": total_lookups,
                     "hit_rate": (
                         self._cache_hits / total_lookups if total_lookups else 0.0
                     ),
@@ -126,7 +175,8 @@ class ServeMetrics:
             f"outliers          {snap['outliers']} "
             f"({snap['outlier_rate']:.1%})",
             f"cache hit rate    {snap['cache']['hit_rate']:.1%} "
-            f"({snap['cache']['hits']} hits / {snap['cache']['misses']} misses)",
+            f"({snap['cache']['hits']} hits / {snap['cache']['misses']} misses"
+            f" / {snap['cache']['uncacheable']} uncacheable)",
             "batch sizes       "
             + "  ".join(f"{k}:{v}" for k, v in snap["batch_sizes"].items() if v),
         ]

@@ -6,7 +6,10 @@ shards an input stream into chunks, ships the *model* (as its JSON
 dict -- cheap, a few KB) to each worker once via the pool initializer,
 and assigns chunks with a per-worker :class:`AssignmentEngine`.
 ``imap`` keeps results in submission order, so output labels line up
-with input points exactly.
+with input points exactly.  Each chunk travels back as a label array
+plus a :class:`ServeMetrics` snapshot delta, which the caller merges
+into its sink -- worker-side cache and latency activity is observable,
+not discarded.
 
 Models whose configuration cannot be serialised (a custom similarity
 callable) fall back to single-process assignment transparently.
@@ -38,9 +41,18 @@ def _init_worker(model_dict: dict[str, Any], cache_size: int) -> None:
     )
 
 
-def _assign_chunk(chunk: list[Any]) -> list[int]:
+def _assign_chunk(chunk: list[Any]) -> tuple[np.ndarray, dict[str, Any]]:
+    """Assign one chunk; return its labels plus a metrics *delta*.
+
+    A fresh :class:`ServeMetrics` is swapped in per chunk so the
+    returned snapshot covers exactly this chunk's activity (the
+    worker's LRU cache still persists across chunks) -- the caller
+    merges the deltas into its sink without double counting.
+    """
     assert _WORKER_ENGINE is not None, "worker pool not initialised"
-    return _WORKER_ENGINE.assign_batch(chunk).tolist()
+    _WORKER_ENGINE.metrics = ServeMetrics()
+    labels = _WORKER_ENGINE.assign_batch(chunk)
+    return labels, _WORKER_ENGINE.metrics.snapshot()
 
 
 def _chunks(points: Iterable[Any], chunk_size: int) -> Iterator[list[Any]]:
@@ -85,8 +97,10 @@ def assign_stream(
     cache_size:
         Per-worker LRU size (each worker caches independently).
     metrics:
-        Optional sink; receives one ``assign_stream`` latency
-        observation plus aggregate point/outlier counts.
+        Optional sink; receives every per-worker batch observation
+        (cache hits/misses/uncacheable, per-batch latencies, outlier
+        counts) merged from worker snapshots, plus one
+        ``assign_stream`` latency observation for the whole run.
 
     Returns
     -------
@@ -97,6 +111,7 @@ def assign_stream(
     if workers is None:
         workers = default_workers()
     start = time.perf_counter()
+    model_dict: dict[str, Any] | None = None
     if workers > 1:
         try:
             model_dict = model.to_dict()
@@ -104,27 +119,28 @@ def assign_stream(
             # custom similarity: the model cannot cross a process
             # boundary without pickle, so stay in-process
             workers = 1
-    if workers <= 1:
+    if workers <= 1 or model_dict is None:
         engine = AssignmentEngine(model, cache_size=cache_size, metrics=metrics)
         labels = engine.assign_all(points, batch_size=chunk_size)
         if metrics is not None:
             metrics.observe_latency("assign_stream", time.perf_counter() - start)
         return labels
 
-    collected: list[int] = []
+    # per-chunk label arrays, concatenated once at the end -- a stream
+    # of millions of points must not be re-boxed into Python ints
+    collected: list[np.ndarray] = []
     with multiprocessing.Pool(
         processes=workers,
         initializer=_init_worker,
         initargs=(model_dict, cache_size),
     ) as pool:
-        for part in pool.imap(_assign_chunk, _chunks(points, chunk_size)):
-            collected.extend(part)
-    labels = np.array(collected, dtype=np.int64)
+        for part, snapshot in pool.imap(_assign_chunk, _chunks(points, chunk_size)):
+            collected.append(part)
+            if metrics is not None:
+                metrics.merge(snapshot)
+    labels = (
+        np.concatenate(collected) if collected else np.empty(0, dtype=np.int64)
+    )
     if metrics is not None:
-        metrics.record_batch(
-            n_points=len(labels),
-            n_outliers=int((labels == -1).sum()),
-            seconds=time.perf_counter() - start,
-            stage="assign_stream",
-        )
+        metrics.observe_latency("assign_stream", time.perf_counter() - start)
     return labels

@@ -77,6 +77,44 @@ class TestEquivalence:
         assert all(0 <= i < n for i in a_idx)
         assert all(0 <= i < n for i in b_idx)
 
+    def test_skip_inclusion_frequencies_match_algorithm_r(self):
+        """Fixed-seed chi-square check that Algorithm X draws from the
+        same per-index inclusion distribution as Algorithm R.
+
+        Both algorithms must include every index with probability
+        ``s/n``; beyond that, the two empirical inclusion-count vectors
+        must be statistically indistinguishable.  The homogeneity
+        statistic ``sum (x_i - r_i)^2 / (x_i + r_i)`` is approximately
+        ``(1 - s/n) * chi2(n - 1)`` under the null (inclusions within a
+        run are negatively correlated, which only shrinks it), so with
+        ``n=20`` its mean is ~14 and 45 is far beyond the 99.9th
+        percentile -- yet a few percent of systematic bias on a handful
+        of indices blows well past it.  Seeds are fixed: deterministic,
+        no flake budget.
+        """
+        n, s, trials = 20, 5, 3000
+        x_counts = Counter()
+        r_counts = Counter()
+        for seed in range(trials):
+            _, idx = reservoir_sample_skip(range(n), s, rng=seed)
+            x_counts.update(idx)
+            _, idx = reservoir_sample(range(n), s, rng=trials + seed)
+            r_counts.update(idx)
+
+        homogeneity = sum(
+            (x_counts[i] - r_counts[i]) ** 2 / (x_counts[i] + r_counts[i])
+            for i in range(n)
+        )
+        assert homogeneity < 45.0, f"chi-square statistic {homogeneity:.1f}"
+
+        # and each algorithm individually matches the uniform s/n rate
+        expected = trials * s / n
+        for counts in (x_counts, r_counts):
+            goodness = sum(
+                (counts[i] - expected) ** 2 / expected for i in range(n)
+            )
+            assert goodness < 45.0, f"goodness-of-fit {goodness:.1f}"
+
 
 class TestSampleIndices:
     def test_range_sample(self):

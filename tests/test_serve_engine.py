@@ -175,6 +175,59 @@ class TestEngineBehaviours:
         assert engine.assign_all([]).shape == (0,)
 
 
+class TestCacheAccounting:
+    """Hit/miss counters reflect real LRU lookups only (regression).
+
+    Previously ``cache_size=0`` reported every point as a miss, so a
+    cacheless engine showed a 0% hit rate over thousands of phantom
+    lookups instead of an empty cache section.
+    """
+
+    def test_cache_disabled_reports_zero_lookups(self):
+        metrics = ServeMetrics()
+        engine = AssignmentEngine(
+            make_model([CLUSTER_A, CLUSTER_B]), cache_size=0, metrics=metrics
+        )
+        engine.assign_batch([Transaction({1, 2, 3})] * 7)
+        snap = metrics.snapshot()["cache"]
+        assert snap["hits"] == 0
+        assert snap["misses"] == 0
+        assert snap["lookups"] == 0
+        assert snap["hit_rate"] == 0.0
+        assert snap["uncacheable"] == 7
+
+    def test_unhashable_points_count_as_uncacheable_not_misses(self):
+        table = SimilarityTable(
+            {("p", "a1"): 0.9}, key=lambda p: getattr(p, "name", p)
+        )
+        model = make_model([["a1"], ["b1"]], theta=0.5, similarity=table)
+        metrics = ServeMetrics()
+        engine = AssignmentEngine(model, metrics=metrics)
+
+        class Unhashable:
+            __hash__ = None
+            name = "q"
+
+        engine.assign_batch(["p", Unhashable(), Unhashable()])
+        snap = metrics.snapshot()["cache"]
+        assert snap["misses"] == 1  # "p" is a real lookup miss
+        assert snap["uncacheable"] == 2
+        assert snap["lookups"] == 1
+
+    def test_hit_rate_is_exact_with_mixed_traffic(self):
+        metrics = ServeMetrics()
+        engine = AssignmentEngine(
+            make_model([CLUSTER_A, CLUSTER_B]), metrics=metrics
+        )
+        point = Transaction({1, 2, 3})
+        engine.assign_batch([point])  # 1 miss
+        engine.assign_batch([point, point, point])  # 3 hits
+        snap = metrics.snapshot()["cache"]
+        assert snap["hits"] == 3
+        assert snap["misses"] == 1
+        assert snap["hit_rate"] == pytest.approx(0.75)
+
+
 def test_engine_matches_labeler_on_large_mixed_batch():
     """Deterministic large-batch spot check with duplicates and outliers."""
     rng = np.random.default_rng(0)

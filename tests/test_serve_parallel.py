@@ -66,6 +66,36 @@ class TestAssignStream:
         assert snap["points"] == len(points)
         assert "assign_stream" in snap["latency"]
 
+    def test_worker_metrics_merged_into_sink(self, model, points):
+        """Regression: workers>1 used to discard all per-worker metrics.
+
+        The sink must see the same per-batch activity a serial run
+        records -- point counts, cache lookups, batch-size histogram,
+        and assign_batch latencies all come back via worker snapshots.
+        """
+        metrics = ServeMetrics()
+        assign_stream(model, iter(points), workers=2, chunk_size=25, metrics=metrics)
+        snap = metrics.snapshot()
+        n_chunks = -(-len(points) // 25)
+        assert snap["requests"] == n_chunks
+        assert snap["points"] == len(points)
+        assert snap["outliers"] > 0  # the fixture plants outliers
+        cache = snap["cache"]
+        # every point reaches each worker's LRU; in-batch duplicates
+        # are deduplicated, so lookups is positive but <= points
+        assert 0 < cache["lookups"] <= len(points)
+        assert cache["hits"] + cache["misses"] == cache["lookups"]
+        assert cache["uncacheable"] == 0
+        assert snap["latency"]["assign_batch"]["count"] == n_chunks
+        assert snap["latency"]["assign_stream"]["count"] == 1
+        assert sum(snap["batch_sizes"].values()) == n_chunks
+
+    def test_parallel_labels_are_int64_array(self, model, points):
+        labels = assign_stream(model, iter(points), workers=2, chunk_size=16)
+        assert isinstance(labels, np.ndarray)
+        assert labels.dtype == np.int64
+        assert labels.shape == (len(points),)
+
     def test_empty_stream(self, model):
         assert assign_stream(model, [], workers=2).shape == (0,)
 

@@ -108,3 +108,41 @@ class TestServeMetrics:
         text = metrics.render()
         assert "requests" in text
         assert "latency[assign]" in text
+
+    def test_merge_is_additive(self):
+        a = ServeMetrics()
+        a.record_batch(5, 1, 0.010, cache_hits=2, cache_misses=2, uncacheable=1)
+        b = ServeMetrics()
+        b.record_batch(100, 10, 0.050, cache_hits=40, cache_misses=60)
+        b.observe_latency("load", 0.5)
+
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["requests"] == 2
+        assert snap["points"] == 105
+        assert snap["outliers"] == 11
+        assert snap["cache"] == {
+            "hits": 42,
+            "misses": 62,
+            "uncacheable": 1,
+            "lookups": 104,
+            "hit_rate": pytest.approx(42 / 104),
+        }
+        assert snap["batch_sizes"]["<=8"] == 1
+        assert snap["batch_sizes"]["<=512"] == 1
+        assert snap["latency"]["load"]["count"] == 1
+        stat = snap["latency"]["assign"]
+        assert stat["count"] == 2
+        assert stat["total_seconds"] == pytest.approx(0.060)
+        assert stat["min_seconds"] == pytest.approx(0.010)
+        assert stat["max_seconds"] == pytest.approx(0.050)
+
+    def test_merge_empty_snapshot_is_noop(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(3, 0, 0.001)
+        before = metrics.snapshot()
+        metrics.merge(ServeMetrics().snapshot())
+        after = metrics.snapshot()
+        assert after == before
+        # an empty latency snapshot must not clobber an existing min
+        assert after["latency"]["assign"]["min_seconds"] > 0.0
