@@ -10,16 +10,17 @@ test-fast:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q -m "not slow"
 
 lint:
-	ruff check src tests benchmarks
+	ruff check src tests benchmarks examples
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-# tiny-n proof that the blocked fit path works and equals the dense
-# path -- fast enough for CI
+# tiny-n proofs that the blocked and parallel (workers=2) fit paths
+# work and equal the dense path -- fast enough for CI
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
-		benchmarks/bench_blocked_fit.py -k smoke --benchmark-disable -s
+		benchmarks/bench_blocked_fit.py benchmarks/bench_parallel_fit.py \
+		-k smoke --benchmark-disable -s
 
 bench-serve:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \

@@ -24,6 +24,7 @@ import resource
 import numpy as np
 import pytest
 
+from benchmarks.machine import machine_summary
 from repro.core import RockPipeline
 from repro.core.neighbors import (
     DEFAULT_MEMORY_BUDGET,
@@ -113,6 +114,9 @@ def test_blocked_fit_smoke(benchmark, save_result):
             f"n={len(dataset)}  clusters={blocked.n_clusters}  "
             f"purity={purity:.3f}",
             f"clustering_seconds={blocked.clustering_seconds():.3f}",
+            f"peak_rss_gb={peak_rss_bytes() / 1024**3:.2f}",
+            "",
+            machine_summary(),
         ]),
     )
 
@@ -173,5 +177,7 @@ def test_blocked_fit_beyond_dense_memory(benchmark, save_result):
                 f"  {stage:<10} {seconds:8.2f}"
                 for stage, seconds in timings.items()
             ),
+            "",
+            machine_summary(),
         ]),
     )

@@ -1,0 +1,31 @@
+"""Machine metadata for checked-in benchmark results.
+
+Absolute benchmark numbers are hardware-bound; every saved results file
+embeds this summary so numbers from different trajectories are
+comparable (or visibly not).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+import numpy as np
+
+
+def machine_summary() -> str:
+    """One block of `key  value` lines describing the benchmark host."""
+    lines = [
+        f"platform      {platform.platform()}",
+        f"python        {platform.python_version()}",
+        f"numpy         {np.__version__}",
+        f"cpu_count     {os.cpu_count()}",
+        f"machine       {platform.machine()}",
+    ]
+    try:
+        from scipy import __version__ as scipy_version
+
+        lines.append(f"scipy         {scipy_version}")
+    except ImportError:  # pragma: no cover - scipy present in dev envs
+        lines.append("scipy         (not installed)")
+    return "\n".join(lines)

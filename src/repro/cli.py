@@ -62,6 +62,20 @@ def _add_fit_memory_args(sub: argparse.ArgumentParser) -> None:
         help="dense-intermediate budget in MiB for the auto neighbor-"
         "method heuristic (default 1024)",
     )
+    sub.add_argument(
+        "--fit-mode",
+        choices=["auto", "dense", "blocked", "parallel", "fused"],
+        default="auto",
+        help="coarse fit-path switch; 'parallel' fans row blocks out "
+        "across --workers processes, 'fused' additionally folds link "
+        "counting into the same pass (lowest peak memory); all modes "
+        "produce identical clusters",
+    )
+    sub.add_argument(
+        "--workers", default=None,
+        help="process count for the parallel/fused kernels: an int, "
+        "'auto' (CPU count, capped at 8), or omitted for serial",
+    )
 
 
 def _memory_budget_bytes(args: argparse.Namespace) -> int | None:
@@ -70,6 +84,21 @@ def _memory_budget_bytes(args: argparse.Namespace) -> int | None:
     if args.memory_budget_mb < 1:
         raise SystemExit("--memory-budget-mb must be positive")
     return args.memory_budget_mb << 20
+
+
+def _fit_workers(args: argparse.Namespace) -> int | str | None:
+    workers = getattr(args, "workers", None)
+    if workers is None or workers == "auto":
+        return workers
+    try:
+        count = int(workers)
+    except ValueError:
+        raise SystemExit(
+            f"--workers must be a positive int or 'auto', got {workers!r}"
+        ) from None
+    if count < 1:
+        raise SystemExit("--workers must be positive")
+    return count
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -264,6 +293,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         min_cluster_size=args.min_cluster_size,
         neighbor_method=args.neighbor_method,
         memory_budget=_memory_budget_bytes(args),
+        fit_mode=args.fit_mode,
+        workers=_fit_workers(args),
         seed=args.seed,
     )
     result = pipeline.fit(points)
@@ -393,6 +424,8 @@ def cmd_fit_model(args: argparse.Namespace) -> int:
         labeling_fraction=args.labeling_fraction,
         neighbor_method=args.neighbor_method,
         memory_budget=_memory_budget_bytes(args),
+        fit_mode=args.fit_mode,
+        workers=_fit_workers(args),
         seed=args.seed,
     )
     result, model = pipeline.fit_model(points)

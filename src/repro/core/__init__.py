@@ -55,7 +55,14 @@ from repro.core.neighbors import (
 from repro.core.outliers import prune_sparse_points, weed_small_clusters
 from repro.core.pipeline import PipelineResult, RockPipeline
 from repro.core.reference import naive_cluster_with_links
-from repro.core.rock import MergeStep, RockResult, cluster_with_links, rock
+from repro.core.rock import (
+    FIT_MODES,
+    MergeStep,
+    RockResult,
+    cluster_with_links,
+    resolve_fit_mode,
+    rock,
+)
 from repro.core.serialization import load_result, save_result
 from repro.core.tuning import ThetaSuggestion, similarity_profile, suggest_theta
 from repro.core.sampling import reservoir_sample, reservoir_sample_skip, sample_indices
@@ -102,8 +109,10 @@ __all__ = [
     "SimilarityFunction",
     "SimilarityTable",
     "DEFAULT_MEMORY_BUDGET",
+    "FIT_MODES",
     "attribute_item",
     "blocked_neighbor_graph",
+    "resolve_fit_mode",
     "cluster_with_links",
     "compute_links",
     "compute_neighbor_graph",

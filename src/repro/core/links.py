@@ -83,6 +83,57 @@ class LinkTable:
         return dense
 
     @classmethod
+    def from_pair_counts(
+        cls, n: int, codes: np.ndarray, counts: np.ndarray
+    ) -> "LinkTable":
+        """Build a table from packed pair codes ``i * n + j`` (``i < j``).
+
+        The inverse of :func:`repro.parallel.links.pair_link_counts` /
+        ``merge_pair_counts``: one dict store per linked pair instead of
+        one per increment.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        counts = np.asarray(counts)
+        if codes.shape != counts.shape or codes.ndim != 1:
+            raise ValueError("codes and counts must be matching 1-d arrays")
+        if codes.size and (codes.min() < 0 or codes.max() >= n * n):
+            raise ValueError("pair codes out of range")
+        table = cls(n)
+        rows = table._rows
+        i_indices = codes // n
+        j_indices = codes % n
+        if np.any(i_indices >= j_indices):
+            raise ValueError("pair codes must encode i < j")
+        for i, j, count in zip(
+            i_indices.tolist(), j_indices.tolist(), counts.tolist()
+        ):
+            rows[i][j] = count
+            rows[j][i] = count
+        return table
+
+    def subset(self, indices: "np.ndarray | list[int]") -> "LinkTable":
+        """Restrict to ``indices``, reindexed to their positions.
+
+        ``subset(kept)`` after isolated-point pruning equals computing
+        links on the pruned subgraph *when the dropped points are
+        degree-0*: an isolated point appears in no neighbor list, so it
+        participates in no pair increment on either side.
+        """
+        index_list = [int(i) for i in indices]
+        remap = {old: new for new, old in enumerate(index_list)}
+        if len(remap) != len(index_list):
+            raise ValueError("subset indices must be unique")
+        table = LinkTable(len(index_list))
+        for new_i, old_i in enumerate(index_list):
+            row: dict[int, float] = {}
+            for old_j, count in self._rows[old_i].items():
+                new_j = remap.get(old_j)
+                if new_j is not None:
+                    row[new_j] = count
+            table._rows[new_i] = row
+        return table
+
+    @classmethod
     def from_dense(cls, matrix: np.ndarray) -> "LinkTable":
         matrix = np.asarray(matrix)
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
@@ -147,7 +198,11 @@ def sparse_link_table(graph: NeighborGraph) -> LinkTable:
     return table
 
 
-def compute_links(graph: NeighborGraph, method: str = "auto") -> LinkTable:
+def compute_links(
+    graph: NeighborGraph,
+    method: str = "auto",
+    workers: int | str | None = None,
+) -> LinkTable:
     """Compute the link table, picking dense vs sparse by expected cost.
 
     ``auto`` uses the Figure 4 sparse algorithm when the pair-increment
@@ -156,10 +211,20 @@ def compute_links(graph: NeighborGraph, method: str = "auto") -> LinkTable:
     and the dense matrix square otherwise.  A sparse-backed graph (the
     blocked fit path) always stays sparse unless ``dense`` is forced --
     the whole point of that path is that no ``n x n`` array ever
-    exists.  ``dense`` / ``sparse`` force a path.
+    exists.  ``dense`` / ``sparse`` / ``parallel`` force a path;
+    ``parallel`` is the multi-worker vectorised Figure 4 counter
+    (:func:`repro.parallel.links.parallel_link_table`), which ``auto``
+    also selects whenever ``workers`` resolves to more than one
+    process.  Every path returns identical counts.
     """
-    if method not in ("auto", "dense", "sparse"):
+    if method not in ("auto", "dense", "sparse", "parallel"):
         raise ValueError(f"unknown method {method!r}")
+    if method == "parallel" or (method == "auto" and workers is not None):
+        from repro.parallel.links import parallel_link_table
+        from repro.parallel.pool import resolve_workers
+
+        if method == "parallel" or resolve_workers(workers) > 1:
+            return parallel_link_table(graph, workers=workers)
     if method == "auto":
         if not graph.has_dense:
             method = "sparse"

@@ -32,11 +32,21 @@ automatically whenever the dense similarity matrix would not fit the
 ``memory_budget`` (default :data:`DEFAULT_MEMORY_BUDGET`) and the
 similarity/dataset pair supports blocking; the three paths produce
 identical graphs (property-tested).
+
+A fourth path, ``method="parallel"`` (or ``"auto"`` with
+``workers > 1``), fans the same row blocks out across worker processes
+-- see :func:`repro.parallel.neighbors.parallel_neighbor_graph`.  The
+per-block math lives in the picklable :class:`BlockScorer` objects
+built by :func:`build_block_scorer`, which every kernel (serial
+blocked, parallel, fused) shares: block scoring is row-independent and
+exact (integer intersections below 2**24, one float64 division), so
+every path produces bit-identical graphs for any block size or worker
+count.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+from collections.abc import Sequence
 from typing import Any
 
 import numpy as np
@@ -263,6 +273,7 @@ def compute_neighbor_graph(
     method: str = "auto",
     memory_budget: int | None = None,
     block_size: int | None = None,
+    workers: int | str | None = None,
 ) -> NeighborGraph:
     """Build the neighbor graph of a point set at threshold ``theta``.
 
@@ -283,26 +294,36 @@ def compute_neighbor_graph(
         ``"auto"`` (blocked when the dense matrix would exceed the
         memory budget, else vectorised when possible), ``"vectorized"``
         (require the bulk path), ``"blocked"`` (require the row-blocked
-        sparse path), or ``"bruteforce"`` (always pairwise calls).
+        sparse path), ``"parallel"`` (fan row blocks out across
+        ``workers`` processes), or ``"bruteforce"`` (always pairwise
+        calls).
     memory_budget:
         Bytes the dense similarity intermediates may occupy before
         ``auto`` switches to the blocked path (default
         :data:`DEFAULT_MEMORY_BUDGET`).
     block_size:
-        Rows per block for the blocked path; ``None`` sizes blocks to
-        the memory budget.
+        Rows per block for the blocked/parallel paths; ``None`` sizes
+        blocks to the memory budget.
+    workers:
+        Worker processes for the parallel path (``"auto"`` = CPU
+        count).  With ``method="auto"`` and ``workers`` resolving to
+        more than one process, the parallel kernel takes over exactly
+        where the blocked kernel would have (dense matrix over budget);
+        otherwise the serial choice is unchanged.
     """
     if not 0.0 <= theta <= 1.0:
         raise ValueError(f"theta must be in [0, 1], got {theta}")
-    if method not in ("auto", "vectorized", "bruteforce", "blocked"):
+    if method not in ("auto", "vectorized", "bruteforce", "blocked", "parallel"):
         raise ValueError(f"unknown method {method!r}")
     if similarity is None:
         similarity = JaccardSimilarity()
     budget = DEFAULT_MEMORY_BUDGET if memory_budget is None else memory_budget
 
-    if method == "blocked":
-        return blocked_neighbor_graph(
-            points, theta, similarity=similarity,
+    if method == "parallel":
+        from repro.parallel.neighbors import parallel_neighbor_graph
+
+        return parallel_neighbor_graph(
+            points, theta, similarity=similarity, workers=workers,
             block_size=block_size, memory_budget=budget,
         )
     if (
@@ -310,6 +331,20 @@ def compute_neighbor_graph(
         and supports_blocked(points, similarity)
         and dense_similarity_bytes(len(points)) > budget
     ):
+        from repro.parallel.pool import resolve_workers
+
+        if resolve_workers(workers) > 1:
+            from repro.parallel.neighbors import parallel_neighbor_graph
+
+            return parallel_neighbor_graph(
+                points, theta, similarity=similarity, workers=workers,
+                block_size=block_size, memory_budget=budget,
+            )
+        return blocked_neighbor_graph(
+            points, theta, similarity=similarity,
+            block_size=block_size, memory_budget=budget,
+        )
+    if method == "blocked":
         return blocked_neighbor_graph(
             points, theta, similarity=similarity,
             block_size=block_size, memory_budget=budget,
@@ -397,73 +432,73 @@ def blocked_neighbor_graph(
         )
     n = len(points)
     if block_size is None:
-        budget = DEFAULT_MEMORY_BUDGET if memory_budget is None else memory_budget
-        # working set per block row: float32 intersections + float64
-        # similarities + int64 unions + bool adjacency ~= 24 bytes/entry,
-        # with headroom for temporaries
-        block_size = int(budget // max(32 * n, 1))
-        block_size = max(16, min(block_size, 8192, max(n, 16)))
+        block_size = default_block_size(n, memory_budget)
 
+    scorer = build_block_scorer(points, similarity)
     lists: list[np.ndarray] = []
-    for start, sim_block in _iter_similarity_blocks(points, similarity, block_size):
+    for start in range(0, n, block_size):
+        lists.extend(scorer.neighbor_rows(start, min(start + block_size, n), theta))
+    return NeighborGraph.from_neighbor_lists(lists, theta=theta, validate=False)
+
+
+def default_block_size(n: int, memory_budget: int | None = None) -> int:
+    """Rows per block keeping a block's working set inside the budget.
+
+    The working set per block row is roughly float32 intersections +
+    float64 similarities + int64 unions + bool adjacency ~= 24
+    bytes/entry, with headroom for temporaries.
+    """
+    budget = DEFAULT_MEMORY_BUDGET if memory_budget is None else memory_budget
+    block_size = int(budget // max(32 * n, 1))
+    return max(16, min(block_size, 8192, max(n, 16)))
+
+
+# -- block scorers ------------------------------------------------------------
+#
+# A BlockScorer owns a compact per-point encoding and computes any row
+# range of the pairwise similarity matrix on demand.  Scorers are plain
+# picklable objects (numpy/scipy arrays + flags) so the parallel kernels
+# can ship one to each worker through the pool initializer.
+
+class BlockScorer:
+    """Base: compute similarity row blocks and threshold them to neighbors."""
+
+    n: int
+
+    def score_rows(self, start: int, stop: int) -> np.ndarray:
+        """Rows ``start:stop`` of the full similarity matrix, float64."""
+        raise NotImplementedError
+
+    def neighbor_rows(self, start: int, stop: int, theta: float) -> list[np.ndarray]:
+        """Sorted neighbor indices of each point in ``start:stop``."""
+        sim_block = self.score_rows(start, stop)
         adj_block = sim_block >= theta
         # clear the self-loop positions that fall inside this block
         rows = np.arange(adj_block.shape[0])
         adj_block[rows, start + rows] = False
-        for row in adj_block:
-            lists.append(np.flatnonzero(row))
-    return NeighborGraph.from_neighbor_lists(lists, theta=theta, validate=False)
+        return [np.flatnonzero(row) for row in adj_block]
 
 
-def _iter_similarity_blocks(
-    points: Any, similarity: SimilarityFunction, block_size: int
-) -> Iterator[tuple[int, np.ndarray]]:
-    """Yield ``(row_start, sim_rows)`` float64 blocks of the full matrix.
+class DenseTransactionScorer(BlockScorer):
+    """Jaccard/overlap over transactions via one dense matmul per block.
 
-    Each block reproduces the corresponding rows of the bulk
-    ``pairwise`` matrix exactly: intersections are exact small integers
-    (float32 matmuls are exact below 2**24), and the final division
-    happens in float64 on the same operands the dense path divides.
+    The PR 2 blocked kernel: float32 keeps the matmul on the BLAS fast
+    path; intersection counts are bounded by the vocabulary size, far
+    below 2**24, so the products are exact integers.
     """
-    from repro.core.similarity import MissingAwareJaccard
 
-    if isinstance(points, CategoricalDataset):
-        if isinstance(similarity, MissingAwareJaccard):
-            yield from _missing_aware_blocks(list(points), block_size)
-            return
-        from repro.core.encoding import dataset_to_transactions
+    def __init__(self, dataset: TransactionDataset, overlap: bool) -> None:
+        self.n = len(dataset)
+        m = dataset.indicator_matrix().astype(np.float32)
+        self._m = m
+        self._mt = np.ascontiguousarray(m.T)
+        self._sizes = m.sum(axis=1, dtype=np.int64)
+        self._overlap = overlap
 
-        points = dataset_to_transactions(points)
-        similarity = JaccardSimilarity()
-    if isinstance(points, TransactionDataset):
-        yield from _transaction_blocks(points, similarity, block_size)
-        return
-    pts = list(points)
-    if pts and not isinstance(pts[0], CategoricalRecord):
-        # plain sequence of Transaction / set-like points
-        yield from _transaction_blocks(TransactionDataset(pts), similarity, block_size)
-        return
-    # sequence of CategoricalRecord with MissingAwareJaccard
-    yield from _missing_aware_blocks(pts, block_size)
-
-
-def _transaction_blocks(
-    dataset: TransactionDataset, similarity: SimilarityFunction, block_size: int
-) -> Iterator[tuple[int, np.ndarray]]:
-    n = len(dataset)
-    if n == 0:
-        return
-    # float32 keeps the matmul on the BLAS fast path; intersection
-    # counts are bounded by the vocabulary size, far below 2**24, so
-    # the products are exact integers
-    m = dataset.indicator_matrix().astype(np.float32)
-    mt = np.ascontiguousarray(m.T)
-    sizes = m.sum(axis=1, dtype=np.int64)
-    overlap = isinstance(similarity, OverlapSimilarity)
-    for start in range(0, n, block_size):
-        stop = min(start + block_size, n)
-        inter = np.rint(m[start:stop] @ mt).astype(np.int64)
-        if overlap:
+    def score_rows(self, start: int, stop: int) -> np.ndarray:
+        sizes = self._sizes
+        inter = np.rint(self._m[start:stop] @ self._mt).astype(np.int64)
+        if self._overlap:
             denom = np.minimum(sizes[start:stop, None], sizes[None, :])
         else:
             denom = sizes[start:stop, None] + sizes[None, :] - inter
@@ -473,32 +508,117 @@ def _transaction_blocks(
         # is 1 even for empty transactions
         rows = np.arange(stop - start)
         sim[rows, start + rows] = 1.0
-        yield start, sim
+        return sim
 
 
-def _missing_aware_blocks(
-    records: list[CategoricalRecord], block_size: int
-) -> Iterator[tuple[int, np.ndarray]]:
-    n = len(records)
-    if n == 0:
-        return
-    schema = records[0].schema
-    d = len(schema)
-    codes = np.full((n, d), -1, dtype=np.int64)
-    value_codes: list[dict[Any, int]] = [{} for _ in range(d)]
-    for i, r in enumerate(records):
-        if r.schema != schema:
-            raise ValueError("records must share a schema")
-        for j, v in enumerate(r.values):
-            if v is None:
-                continue
-            table = value_codes[j]
-            codes[i, j] = table.setdefault(v, len(table))
-    present = (codes >= 0).astype(np.int64)
-    for start in range(0, n, block_size):
-        stop = min(start + block_size, n)
-        shared = present[start:stop] @ present.T
-        sim = np.zeros((stop - start, n), dtype=np.float64)
+class SparseTransactionScorer(BlockScorer):
+    """Jaccard/overlap over transactions via sparse intersection products.
+
+    Computes ``S[start:stop] @ S.T`` with scipy CSR matrices, touching
+    only pairs that share at least one item -- ``O(nnz)`` work instead
+    of the dense kernel's ``O(rows * n * vocab)``.  Most co-occurring
+    pairs share just one or two items, so before any per-pair
+    arithmetic a conservative integer prefilter drops every pair whose
+    raw intersection count cannot clear ``theta`` even under the most
+    favourable set sizes (one vectorised comparison over the product's
+    nnz).  Survivors then get the exact similarity -- the same integer
+    intersections and the same float64 division as the dense kernel --
+    so the thresholded adjacency is reproduced bit for bit.
+    ``theta == 0`` (every pair a neighbor, as ``sim >= 0`` always
+    holds) is answered directly.
+    """
+
+    def __init__(self, dataset: TransactionDataset, overlap: bool) -> None:
+        from scipy import sparse
+
+        self.n = len(dataset)
+        matrix = sparse.csr_matrix(
+            dataset.indicator_matrix().astype(np.int64)
+        )
+        self._s = matrix
+        self._st = matrix.T.tocsr()
+        self._sizes = np.asarray(
+            matrix.sum(axis=1), dtype=np.int64
+        ).ravel()
+        self._min_size = int(self._sizes.min()) if self.n else 0
+        self._overlap = overlap
+
+    def _prefilter_bound(self, theta: float) -> float:
+        """Smallest intersection count that could still clear ``theta``.
+
+        Jaccard: ``i / (sa + sb - i) >= theta`` implies
+        ``i >= 2 * theta * min_size / (1 + theta)``; overlap:
+        ``i / min(sa, sb) >= theta`` implies ``i >= theta * min_size``.
+        Both substitute the global minimum set size, so the bound only
+        ever under-estimates -- no qualifying pair is dropped.
+        """
+        if self._overlap:
+            return theta * self._min_size
+        return 2.0 * theta * self._min_size / (1.0 + theta)
+
+    def neighbor_rows(self, start: int, stop: int, theta: float) -> list[np.ndarray]:
+        n = self.n
+        if theta <= 0.0:
+            everyone = np.arange(n, dtype=np.int64)
+            return [
+                np.concatenate([everyone[:i], everyone[i + 1:]])
+                for i in range(start, stop)
+            ]
+        inter = (self._s[start:stop] @ self._st).tocsr()
+        indptr = inter.indptr
+        # prefilter on the raw counts, then gather only the survivors;
+        # searchsorted recovers their block rows from indptr (correct
+        # across empty rows: side="right" skips repeated offsets)
+        pos = np.flatnonzero(inter.data >= self._prefilter_bound(theta) - 1e-9)
+        cols = inter.indices[pos].astype(np.int64, copy=False)
+        vals = inter.data[pos].astype(np.int64, copy=False)
+        block_rows = np.searchsorted(indptr, pos, side="right") - 1
+        sizes = self._sizes
+        if self._overlap:
+            denom = np.minimum(sizes[start + block_rows], sizes[cols])
+        else:
+            denom = sizes[start + block_rows] + sizes[cols] - vals
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sim = np.where(denom > 0, vals / np.maximum(denom, 1), 0.0)
+        keep = (sim >= theta) & (cols != start + block_rows)
+        kept_cols = cols[keep]
+        kept_rows = block_rows[keep]
+        # the product's columns are unsorted within a row; order the
+        # survivors so every emitted neighbor list is ascending
+        order = np.lexsort((kept_cols, kept_rows))
+        kept_cols = kept_cols[order]
+        per_row = np.bincount(kept_rows, minlength=stop - start)
+        return np.split(kept_cols, np.cumsum(per_row)[:-1])
+
+class MissingAwareScorer(BlockScorer):
+    """Per-pair missing-aware Jaccard over categorical records."""
+
+    def __init__(self, records: list[CategoricalRecord]) -> None:
+        n = len(records)
+        self.n = n
+        if n == 0:
+            self._codes = np.zeros((0, 0), dtype=np.int64)
+            self._present = np.zeros((0, 0), dtype=np.int64)
+            return
+        schema = records[0].schema
+        d = len(schema)
+        codes = np.full((n, d), -1, dtype=np.int64)
+        value_codes: list[dict[Any, int]] = [{} for _ in range(d)]
+        for i, r in enumerate(records):
+            if r.schema != schema:
+                raise ValueError("records must share a schema")
+            for j, v in enumerate(r.values):
+                if v is None:
+                    continue
+                table = value_codes[j]
+                codes[i, j] = table.setdefault(v, len(table))
+        self._codes = codes
+        self._present = (codes >= 0).astype(np.int64)
+
+    def score_rows(self, start: int, stop: int) -> np.ndarray:
+        codes = self._codes
+        shared = self._present[start:stop] @ self._present.T
+        sim = np.zeros((stop - start, self.n), dtype=np.float64)
         for offset in range(stop - start):
             i = start + offset
             both = (codes[i] >= 0) & (codes >= 0)
@@ -506,7 +626,55 @@ def _missing_aware_blocks(
             union = 2 * shared[offset] - equal
             with np.errstate(divide="ignore", invalid="ignore"):
                 sim[offset] = np.where(union > 0, equal / np.maximum(union, 1), 0.0)
-        yield start, sim
+        return sim
+
+
+def _scipy_sparse_available() -> bool:
+    try:
+        from scipy import sparse  # noqa: F401
+    except ImportError:  # pragma: no cover - scipy is present in dev envs
+        return False
+    return True
+
+
+def build_block_scorer(
+    points: Any,
+    similarity: SimilarityFunction | None = None,
+    prefer_sparse: bool = False,
+) -> BlockScorer:
+    """Build the block scorer for a supported points/similarity pair.
+
+    ``prefer_sparse`` opts transactions into
+    :class:`SparseTransactionScorer` when scipy is importable (the
+    parallel and fused kernels do); the serial blocked kernel keeps the
+    dense matmul scorer.  Raises for combinations
+    :func:`supports_blocked` rejects.
+    """
+    if similarity is None:
+        similarity = JaccardSimilarity()
+    if not supports_blocked(points, similarity):
+        raise ValueError(
+            "no block scorer for this similarity/dataset combination"
+        )
+    from repro.core.similarity import MissingAwareJaccard
+
+    if isinstance(points, CategoricalDataset):
+        if isinstance(similarity, MissingAwareJaccard):
+            return MissingAwareScorer(list(points))
+        from repro.core.encoding import dataset_to_transactions
+
+        points = dataset_to_transactions(points)
+        similarity = JaccardSimilarity()
+    if not isinstance(points, TransactionDataset):
+        pts = list(points)
+        if pts and isinstance(pts[0], CategoricalRecord):
+            return MissingAwareScorer(pts)
+        # plain sequence of Transaction / set-like points
+        points = TransactionDataset(pts)
+    overlap = isinstance(similarity, OverlapSimilarity)
+    if prefer_sparse and _scipy_sparse_available():
+        return SparseTransactionScorer(points, overlap)
+    return DenseTransactionScorer(points, overlap)
 
 
 def _bulk_similarity(points: Any, similarity: SimilarityFunction) -> np.ndarray | None:

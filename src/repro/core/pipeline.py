@@ -25,7 +25,13 @@ from repro.core.labeling import ClusterLabeler, draw_labeling_sets
 from repro.core.links import compute_links
 from repro.core.neighbors import NeighborGraph, compute_neighbor_graph
 from repro.core.outliers import prune_sparse_points, weed_small_clusters, weeding_stop_count
-from repro.core.rock import GoodnessFunction, RockResult, cluster_with_links
+from repro.core.rock import (
+    FIT_MODES,
+    GoodnessFunction,
+    RockResult,
+    cluster_with_links,
+    resolve_fit_mode,
+)
 from repro.core.sampling import sample_indices
 from repro.core.similarity import SimilarityFunction
 from repro.data.records import CategoricalDataset
@@ -127,6 +133,22 @@ class RockPipeline:
         Bytes of dense intermediates the fit may allocate before the
         auto heuristic switches to the blocked path (default
         :data:`repro.core.neighbors.DEFAULT_MEMORY_BUDGET`, 1 GiB).
+    fit_mode:
+        Coarse switch over the neighbor+link stage: ``"auto"``
+        (default) defers to ``neighbor_method`` / ``link_method``;
+        ``"dense"`` / ``"blocked"`` / ``"parallel"`` force those
+        kernels; ``"fused"`` runs the one-pass fused neighbor+link
+        kernel (the neighbor graph is never materialised -- isolated
+        points are pruned from the fused degree vector and the link
+        table is subset exactly).  ``fused`` requires
+        ``min_neighbors <= 1``; with a stricter pruning threshold the
+        pipeline silently uses the ``parallel`` kernels instead, since
+        dropping points of positive degree changes link counts and the
+        exact subset shortcut no longer applies.  All modes produce
+        identical results (property-tested).
+    workers:
+        Process count for the parallel/fused kernels: an int,
+        ``"auto"`` (CPU count capped at 8), or ``None`` for serial.
     seed:
         Seed for sampling and labeling-set draws; runs are fully
         deterministic for a fixed seed.
@@ -147,6 +169,8 @@ class RockPipeline:
         link_method: str = "auto",
         neighbor_method: str = "auto",
         memory_budget: int | None = None,
+        fit_mode: str = "auto",
+        workers: int | str | None = None,
         seed: int | None = None,
     ) -> None:
         if k < 1:
@@ -155,6 +179,10 @@ class RockPipeline:
             raise ValueError(f"theta must be in [0, 1], got {theta}")
         if sample_size is not None and sample_size < 1:
             raise ValueError("sample_size must be positive when given")
+        if fit_mode not in FIT_MODES:
+            raise ValueError(
+                f"fit_mode must be one of {FIT_MODES}, got {fit_mode!r}"
+            )
         self.k = k
         self.theta = theta
         self.similarity = similarity
@@ -168,6 +196,8 @@ class RockPipeline:
         self.link_method = link_method
         self.neighbor_method = neighbor_method
         self.memory_budget = memory_budget
+        self.fit_mode = fit_mode
+        self.workers = workers
         self.seed = seed
 
     def fit(self, points: Any, label_remaining: bool = True) -> PipelineResult:
@@ -194,28 +224,69 @@ class RockPipeline:
         sample_points = _subset(points, sampled)
         timings["sample"] = time.perf_counter() - start
 
-        # -- 2. neighbors + isolated-point pruning -------------------------
-        start = time.perf_counter()
-        graph = compute_neighbor_graph(
-            sample_points, self.theta, similarity=self.similarity,
-            method=self.neighbor_method, memory_budget=self.memory_budget,
-        )
-        kept, discarded = prune_sparse_points(graph, max(self.min_neighbors, 0))
-        outlier_sample_positions = list(discarded)
-        if len(kept) == 0:
-            raise ValueError(
-                "every sampled point was pruned as an outlier; lower theta "
-                "or min_neighbors"
-            )
-        pruned_graph: NeighborGraph = (
-            graph if len(kept) == len(graph) else graph.subgraph(kept)
-        )
-        timings["neighbors"] = time.perf_counter() - start
+        # -- 2 + 3. neighbors, isolated-point pruning, links ---------------
+        min_neighbors = max(self.min_neighbors, 0)
+        if self.fit_mode == "fused" and min_neighbors <= 1:
+            # one-pass fused kernel: the neighbor graph never exists.
+            # Isolated points are degree-0, appear in no neighbor list
+            # and therefore in no pair increment, so subsetting the
+            # full link table equals computing links post-pruning.
+            from repro.parallel.links import fused_neighbor_links
 
-        # -- 3. links -------------------------------------------------------
-        start = time.perf_counter()
-        links = compute_links(pruned_graph, method=self.link_method)
-        timings["links"] = time.perf_counter() - start
+            start = time.perf_counter()
+            fused = fused_neighbor_links(
+                sample_points, self.theta, similarity=self.similarity,
+                workers=self.workers, memory_budget=self.memory_budget,
+            )
+            kept = np.flatnonzero(fused.degrees >= min_neighbors)
+            discarded = np.flatnonzero(fused.degrees < min_neighbors)
+            outlier_sample_positions = list(discarded)
+            if len(kept) == 0:
+                raise ValueError(
+                    "every sampled point was pruned as an outlier; lower "
+                    "theta or min_neighbors"
+                )
+            timings["neighbors"] = time.perf_counter() - start
+
+            start = time.perf_counter()
+            links = (
+                fused.links if len(kept) == fused.n
+                else fused.links.subset(kept)
+            )
+            timings["links"] = time.perf_counter() - start
+        else:
+            if self.fit_mode == "auto":
+                neighbor_method = self.neighbor_method
+                link_method = self.link_method
+            else:
+                # "fused" with min_neighbors > 1 lands here too: pruning
+                # positive-degree points changes link counts, so the
+                # subset shortcut is invalid and the parallel kernels
+                # (identical output, two passes) take over.
+                neighbor_method, link_method = resolve_fit_mode(self.fit_mode)
+            start = time.perf_counter()
+            graph = compute_neighbor_graph(
+                sample_points, self.theta, similarity=self.similarity,
+                method=neighbor_method, memory_budget=self.memory_budget,
+                workers=self.workers,
+            )
+            kept, discarded = prune_sparse_points(graph, min_neighbors)
+            outlier_sample_positions = list(discarded)
+            if len(kept) == 0:
+                raise ValueError(
+                    "every sampled point was pruned as an outlier; lower "
+                    "theta or min_neighbors"
+                )
+            pruned_graph: NeighborGraph = (
+                graph if len(kept) == len(graph) else graph.subgraph(kept)
+            )
+            timings["neighbors"] = time.perf_counter() - start
+
+            start = time.perf_counter()
+            links = compute_links(
+                pruned_graph, method=link_method, workers=self.workers
+            )
+            timings["links"] = time.perf_counter() - start
 
         # -- 4. cluster (with optional pause-and-weed) ----------------------
         start = time.perf_counter()

@@ -195,6 +195,34 @@ def cluster_with_links(
     )
 
 
+# The coarse fit-path switch threaded through rock(), RockPipeline and
+# the CLI.  "auto" defers to the finer neighbor_method / link_method
+# knobs (and the memory-budget heuristic); the explicit modes force one
+# of the four kernels end to end.  All modes produce identical results.
+FIT_MODES = ("auto", "dense", "blocked", "parallel", "fused")
+
+
+def resolve_fit_mode(fit_mode: str) -> tuple[str, str]:
+    """Map a fit mode to its ``(neighbor_method, link_method)`` pair.
+
+    ``fused`` is not expressible as a method pair -- callers branch to
+    :func:`repro.parallel.links.fused_neighbor_links` before consulting
+    this mapping -- but mapping it to the parallel pair keeps a single
+    safe fallback for callers that cannot fuse (e.g. weighted links).
+    """
+    if fit_mode not in FIT_MODES:
+        raise ValueError(
+            f"fit_mode must be one of {FIT_MODES}, got {fit_mode!r}"
+        )
+    return {
+        "auto": ("auto", "auto"),
+        "dense": ("vectorized", "auto"),
+        "blocked": ("blocked", "auto"),
+        "parallel": ("parallel", "parallel"),
+        "fused": ("parallel", "parallel"),
+    }[fit_mode]
+
+
 def rock(
     points: Any,
     k: int,
@@ -206,6 +234,8 @@ def rock(
     neighbor_method: str = "auto",
     weighted_links: bool = False,
     memory_budget: int | None = None,
+    fit_mode: str = "auto",
+    workers: int | str | None = None,
 ) -> RockResult:
     """Convenience end-to-end run on in-memory points (no sampling/labeling).
 
@@ -218,10 +248,24 @@ def rock(
     ``memory_budget`` the dense similarity matrix would overflow) runs
     the memory-bounded blocked kernel: neighbor lists are emitted one
     row-block at a time and the link table stays sparse, so no
-    ``n x n`` array is ever materialised.  For the full
-    sample -> prune -> cluster -> weed -> label pipeline of Figure 2,
-    use :class:`repro.core.pipeline.RockPipeline`.
+    ``n x n`` array is ever materialised.
+
+    ``fit_mode`` is the coarse switch over the whole neighbor+link
+    stage: ``"auto"`` (default) defers to ``neighbor_method`` /
+    ``link_method``; ``"dense"`` / ``"blocked"`` / ``"parallel"``
+    force those kernels; ``"fused"`` runs the one-pass fused
+    neighbor+link kernel of
+    :func:`repro.parallel.links.fused_neighbor_links` (never
+    materialising the neighbor graph).  ``workers`` (int, ``"auto"``,
+    or ``None`` for serial) sets the process count for the parallel
+    and fused kernels.  Every mode yields identical clusters.  For the
+    full sample -> prune -> cluster -> weed -> label pipeline of
+    Figure 2, use :class:`repro.core.pipeline.RockPipeline`.
     """
+    if fit_mode not in FIT_MODES:
+        raise ValueError(
+            f"fit_mode must be one of {FIT_MODES}, got {fit_mode!r}"
+        )
     if weighted_links:
         from repro.core.links import LinkTable, weighted_link_matrix
         from repro.core.neighbors import (
@@ -235,12 +279,21 @@ def rock(
             adjacency_from_similarity_matrix(sim, theta), theta=theta
         )
         links = LinkTable.from_dense(weighted_link_matrix(graph, sim))
+    elif fit_mode == "fused":
+        from repro.parallel.links import fused_neighbor_links
+
+        links = fused_neighbor_links(
+            points, theta, similarity=similarity, workers=workers,
+            memory_budget=memory_budget,
+        ).links
     else:
+        if fit_mode != "auto":
+            neighbor_method, link_method = resolve_fit_mode(fit_mode)
         graph = compute_neighbor_graph(
             points, theta, similarity=similarity, method=neighbor_method,
-            memory_budget=memory_budget,
+            memory_budget=memory_budget, workers=workers,
         )
-        links = compute_links(graph, method=link_method)
+        links = compute_links(graph, method=link_method, workers=workers)
     return cluster_with_links(links, k=k, f_theta=f(theta), goodness_fn=goodness_fn)
 
 

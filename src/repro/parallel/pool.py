@@ -1,0 +1,112 @@
+"""The chunked-execution layer: ordered maps over a one-time-init pool.
+
+Extracted and generalised from the serving-side executor
+(:mod:`repro.serve.parallel`, PR 1/2), which is now a thin consumer.
+The pattern both the fit and serve paths share:
+
+* a *payload* too big to ship per task (a fitted model, an encoded
+  indicator matrix) travels **once per worker** through the pool
+  initializer and lands in a module global;
+* tasks are small descriptors (row ranges, point chunks) mapped with
+  ``imap``, which yields results in **submission order** -- merges are
+  order-preserving by construction, never completion-order, so any
+  worker count reproduces the serial output byte for byte;
+* ``workers <= 1`` short-circuits to an in-process loop (the
+  initializer runs locally), so small inputs never pay process startup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any
+
+__all__ = [
+    "default_workers",
+    "imap_chunked",
+    "iter_chunks",
+    "map_chunked",
+    "resolve_workers",
+]
+
+
+def default_workers() -> int:
+    """A sane worker count: the CPU count, capped at 8."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalise a ``workers`` argument to a concrete process count.
+
+    ``None`` means serial (1); ``"auto"`` resolves to
+    :func:`default_workers`; an integer is validated and passed through.
+    """
+    if workers is None:
+        return 1
+    if isinstance(workers, str):
+        if workers == "auto":
+            return default_workers()
+        raise ValueError(f"workers must be a positive int, 'auto' or None, got {workers!r}")
+    count = int(workers)
+    if count < 1:
+        raise ValueError(f"workers must be positive, got {workers!r}")
+    return count
+
+
+def iter_chunks(items: Iterable[Any], chunk_size: int) -> Iterator[list[Any]]:
+    """Slice any iterable into lists of at most ``chunk_size`` items."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    chunk: list[Any] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def imap_chunked(
+    task_fn: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    *,
+    workers: int,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple[Any, ...] = (),
+) -> Iterator[Any]:
+    """Yield ``task_fn(task)`` for every task, in submission order.
+
+    With ``workers > 1`` tasks run on a :class:`multiprocessing.Pool`
+    whose per-worker state is built once by ``initializer(*initargs)``;
+    with ``workers <= 1`` the initializer runs in-process and tasks are
+    mapped inline -- identical results either way.
+    """
+    if workers <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        for task in tasks:
+            yield task_fn(task)
+        return
+    with multiprocessing.Pool(
+        processes=workers, initializer=initializer, initargs=initargs
+    ) as pool:
+        yield from pool.imap(task_fn, tasks)
+
+
+def map_chunked(
+    task_fn: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    *,
+    workers: int,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple[Any, ...] = (),
+) -> list[Any]:
+    """:func:`imap_chunked`, fully collected into a list."""
+    return list(
+        imap_chunked(
+            task_fn, tasks, workers=workers,
+            initializer=initializer, initargs=initargs,
+        )
+    )

@@ -216,6 +216,8 @@ def model_from_result(
         "n_sample_outliers": len(result.outlier_indices),
         "n_unassigned": int((result.labels == -1).sum()),
         "uses_default_f": pipeline.f is default_f,
+        "fit_mode": getattr(pipeline, "fit_mode", "auto"),
+        "workers": getattr(pipeline, "workers", None),
     }
     return RockModel(
         labeling_sets=labeling_sets,

@@ -13,22 +13,29 @@ not discarded.
 
 Models whose configuration cannot be serialised (a custom similarity
 callable) fall back to single-process assignment transparently.
+
+The pool/chunking mechanics live in :mod:`repro.parallel.pool` (shared
+with the fit-path kernels); this module only supplies the serving
+payload and task functions.
 """
 
 from __future__ import annotations
 
-import os
 import time
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable
 from typing import Any
-
-import multiprocessing
 
 import numpy as np
 
+from repro.parallel.pool import default_workers, imap_chunked, iter_chunks
 from repro.serve.engine import AssignmentEngine
 from repro.serve.metrics import ServeMetrics
 from repro.serve.model import RockModel
+
+# back-compat alias: chunking moved to repro.parallel.pool
+_chunks = iter_chunks
+
+__all__ = ["assign_stream", "default_workers"]
 
 # per-worker engine, built once by _init_worker
 _WORKER_ENGINE: AssignmentEngine | None = None
@@ -53,22 +60,6 @@ def _assign_chunk(chunk: list[Any]) -> tuple[np.ndarray, dict[str, Any]]:
     _WORKER_ENGINE.metrics = ServeMetrics()
     labels = _WORKER_ENGINE.assign_batch(chunk)
     return labels, _WORKER_ENGINE.metrics.snapshot()
-
-
-def _chunks(points: Iterable[Any], chunk_size: int) -> Iterator[list[Any]]:
-    chunk: list[Any] = []
-    for point in points:
-        chunk.append(point)
-        if len(chunk) >= chunk_size:
-            yield chunk
-            chunk = []
-    if chunk:
-        yield chunk
-
-
-def default_workers() -> int:
-    """A sane worker count: the CPU count, capped at 8."""
-    return min(os.cpu_count() or 1, 8)
 
 
 def assign_stream(
@@ -129,15 +120,16 @@ def assign_stream(
     # per-chunk label arrays, concatenated once at the end -- a stream
     # of millions of points must not be re-boxed into Python ints
     collected: list[np.ndarray] = []
-    with multiprocessing.Pool(
-        processes=workers,
+    for part, snapshot in imap_chunked(
+        _assign_chunk,
+        iter_chunks(points, chunk_size),
+        workers=workers,
         initializer=_init_worker,
         initargs=(model_dict, cache_size),
-    ) as pool:
-        for part, snapshot in pool.imap(_assign_chunk, _chunks(points, chunk_size)):
-            collected.append(part)
-            if metrics is not None:
-                metrics.merge(snapshot)
+    ):
+        collected.append(part)
+        if metrics is not None:
+            metrics.merge(snapshot)
     labels = (
         np.concatenate(collected) if collected else np.empty(0, dtype=np.int64)
     )
