@@ -16,10 +16,12 @@ bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # tiny-n proofs that the blocked and parallel (workers=2) fit paths
-# work and equal the dense path -- fast enough for CI
+# work and equal the dense path, and that a traced fit leaves a
+# complete RunManifest -- fast enough for CI
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/bench_blocked_fit.py benchmarks/bench_parallel_fit.py \
+		benchmarks/bench_trace_fit.py \
 		-k smoke --benchmark-disable -s
 
 bench-serve:

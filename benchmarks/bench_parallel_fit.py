@@ -136,18 +136,34 @@ def format_curve(rows: list[dict], baseline: dict) -> list[str]:
     return lines
 
 
-def _run_suite(n_clusters: int) -> tuple[dict, list[dict]]:
-    baseline = measure_fresh("blocked", n_clusters)
-    rows = [baseline]
-    for w in WORKER_CURVE:
-        rows.append(measure_fresh(f"parallel:{w}", n_clusters))
-    for w in WORKER_CURVE:
-        rows.append(measure_fresh(f"fused:{w}", n_clusters))
-    return baseline, rows
+def _run_suite(
+    n_clusters: int, tracer=None
+) -> tuple[dict, list[dict]]:
+    variants = (
+        ["blocked"]
+        + [f"parallel:{w}" for w in WORKER_CURVE]
+        + [f"fused:{w}" for w in WORKER_CURVE]
+    )
+    rows = [measure_traced(v, n_clusters, tracer) for v in variants]
+    return rows[0], rows
 
 
-def test_parallel_fit_smoke(benchmark, save_result):
+def measure_traced(variant: str, n_clusters: int, tracer=None) -> dict:
+    """``measure_fresh`` under a span, with the row mirrored as gauges."""
+    if tracer is None:
+        return measure_fresh(variant, n_clusters)
+    with tracer.span(variant, n_clusters=n_clusters):
+        row = measure_fresh(variant, n_clusters)
+    for key in ("seconds_neighbors", "seconds_links", "seconds_total"):
+        tracer.registry.set_gauge(f"bench.{variant}.{key}", row[key])
+    tracer.registry.set_gauge(f"bench.{variant}.peak_rss", row["peak_rss"])
+    return row
+
+
+def test_parallel_fit_smoke(benchmark, save_result, save_manifest):
     """Small-n: all fit modes label-identical; record the workers=2 curve."""
+    from repro.obs import RunManifest, Tracer
+
     n_clusters = SMOKE_N_CLUSTERS
     from benchmarks.bench_blocked_fit import make_clustered_baskets
 
@@ -164,12 +180,16 @@ def test_parallel_fit_smoke(benchmark, save_result):
         assert np.array_equal(results[mode].labels, base.labels), mode
         assert results[mode].clusters == base.clusters, mode
 
+    tracer = Tracer()
     holder = {}
     benchmark.pedantic(
         lambda: holder.setdefault(
             "rows",
-            [measure_fresh("blocked", n_clusters)]
-            + [measure_fresh(f"{v}:2", n_clusters) for v in ("parallel", "fused")],
+            [measure_traced("blocked", n_clusters, tracer)]
+            + [
+                measure_traced(f"{v}:2", n_clusters, tracer)
+                for v in ("parallel", "fused")
+            ],
         ),
         rounds=1,
         iterations=1,
@@ -186,18 +206,28 @@ def test_parallel_fit_smoke(benchmark, save_result):
             machine_summary(),
         ]),
     )
+    save_manifest(
+        "parallel_fit_smoke",
+        RunManifest.from_tracer(
+            "bench_parallel_fit_smoke", tracer,
+            config={"n": len(dataset), "theta": THETA, "workers": 2},
+        ),
+    )
 
 
 @pytest.mark.slow
-def test_parallel_fit_scale(benchmark, save_result):
+def test_parallel_fit_scale(benchmark, save_result, save_manifest):
     """n >= 30k: the acceptance bar for the parallel fit path.
 
     >= 2.5x total speedup at 4 workers over the PR 2 serial blocked
     kernel, and fused peak RSS no higher than the blocked path's.
     """
+    from repro.obs import RunManifest, Tracer
+
+    tracer = Tracer()
     holder = {}
     benchmark.pedantic(
-        lambda: holder.setdefault("suite", _run_suite(SLOW_N_CLUSTERS)),
+        lambda: holder.setdefault("suite", _run_suite(SLOW_N_CLUSTERS, tracer)),
         rounds=1,
         iterations=1,
     )
@@ -242,6 +272,18 @@ def test_parallel_fit_scale(benchmark, save_result):
             "",
             machine_summary(),
         ]),
+    )
+    save_manifest(
+        "parallel_fit",
+        RunManifest.from_tracer(
+            "bench_parallel_fit_scale", tracer,
+            config={
+                "n": n,
+                "n_clusters": SLOW_N_CLUSTERS,
+                "theta": THETA,
+                "worker_curve": list(WORKER_CURVE),
+            },
+        ),
     )
 
 

@@ -21,6 +21,7 @@ import json
 import random
 import time
 
+from benchmarks.machine import machine_summary
 from repro.core.labeling import ClusterLabeler
 from repro.data.transactions import Transaction
 from repro.eval import format_table
@@ -53,36 +54,44 @@ def _grow_stream(basket, n, seed):
     return points
 
 
-def test_serve_throughput(benchmark, save_result):
+def test_serve_throughput(benchmark, save_result, save_manifest):
+    from repro.obs import RunManifest, Tracer
+
     basket = small_synthetic_basket(
         n_clusters=4, cluster_size=400, n_outliers=40, seed=11
     )
     pipeline = RockPipeline(
         k=4, theta=0.45, sample_size=400, min_cluster_size=5, seed=3
     )
-    _, model = pipeline.fit_model(basket.transactions)
+    tracer = Tracer()
+    _, model = pipeline.fit_model(basket.transactions, tracer=tracer)
     labeler: ClusterLabeler = model.labeler()
 
     rows = []
     rates: dict[tuple[int, str], float] = {}
-    engine_metrics = ServeMetrics()
+    # serving metrics share the tracer's registry, so the saved
+    # manifest carries fit spans and serve counters in one artifact
+    engine_metrics = ServeMetrics(registry=tracer.registry)
     for n in SIZES:
         points = _grow_stream(basket, n, seed=n)
 
-        start = time.perf_counter()
-        labels_loop = labeler.assign_all(points)
-        loop_seconds = time.perf_counter() - start
+        with tracer.span("labeler", n=n):
+            start = time.perf_counter()
+            labels_loop = labeler.assign_all(points)
+            loop_seconds = time.perf_counter() - start
 
         engine = AssignmentEngine(model, metrics=engine_metrics, cache_size=0)
-        start = time.perf_counter()
-        labels_engine = engine.assign_batch(points)
-        engine_seconds = time.perf_counter() - start
+        with tracer.span("engine", n=n):
+            start = time.perf_counter()
+            labels_engine = engine.assign_batch(points)
+            engine_seconds = time.perf_counter() - start
 
-        start = time.perf_counter()
-        labels_parallel = assign_stream(
-            model, points, workers=WORKERS, chunk_size=8192
-        )
-        parallel_seconds = time.perf_counter() - start
+        with tracer.span("parallel", n=n, workers=WORKERS):
+            start = time.perf_counter()
+            labels_parallel = assign_stream(
+                model, points, workers=WORKERS, chunk_size=8192
+            )
+            parallel_seconds = time.perf_counter() - start
 
         assert labels_engine.tolist() == labels_loop.tolist()
         assert labels_parallel.tolist() == labels_loop.tolist()
@@ -118,4 +127,17 @@ def test_serve_throughput(benchmark, save_result):
     )
     text += "\n\nEngine metrics snapshot:\n"
     text += json.dumps(engine_metrics.snapshot(), indent=2)
+    text += "\n\n" + machine_summary()
     save_result("serve_throughput", text)
+    save_manifest(
+        "serve_throughput",
+        RunManifest.from_tracer(
+            "bench_serve_throughput", tracer,
+            config={
+                "sizes": list(SIZES),
+                "workers": WORKERS,
+                "theta": 0.45,
+                "k": 4,
+            },
+        ),
+    )

@@ -41,6 +41,23 @@ def save_result(results_dir):
 
 
 @pytest.fixture(scope="session")
+def save_manifest(results_dir):
+    """Write a :class:`repro.obs.RunManifest` next to the text results.
+
+    The manifest is the machine-readable twin of ``save_result``'s
+    table: span tree, metrics snapshot, host metadata and config in one
+    versioned JSON file (``<name>.manifest.json``).
+    """
+
+    def _save(name: str, manifest) -> None:
+        path = results_dir / f"{name}.manifest.json"
+        manifest.save(path)
+        print(f"[manifest saved to {path}]")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
 def votes_dataset():
     from repro.datasets import generate_votes
 

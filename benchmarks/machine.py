@@ -2,30 +2,26 @@
 
 Absolute benchmark numbers are hardware-bound; every saved results file
 embeds this summary so numbers from different trajectories are
-comparable (or visibly not).
+comparable (or visibly not).  The facts themselves come from
+:func:`repro.obs.host_metadata` -- the same block a
+:class:`~repro.obs.manifest.RunManifest` embeds -- so the text results
+and the JSON manifests can never disagree about the host.
 """
 
 from __future__ import annotations
 
-import os
-import platform
+from repro.obs import host_metadata
 
-import numpy as np
+# render order of the host-metadata keys in saved text results
+_KEY_ORDER = ("platform", "python", "numpy", "cpu_count", "machine", "scipy")
 
 
 def machine_summary() -> str:
     """One block of `key  value` lines describing the benchmark host."""
-    lines = [
-        f"platform      {platform.platform()}",
-        f"python        {platform.python_version()}",
-        f"numpy         {np.__version__}",
-        f"cpu_count     {os.cpu_count()}",
-        f"machine       {platform.machine()}",
-    ]
-    try:
-        from scipy import __version__ as scipy_version
-
-        lines.append(f"scipy         {scipy_version}")
-    except ImportError:  # pragma: no cover - scipy present in dev envs
-        lines.append("scipy         (not installed)")
+    meta = host_metadata()
+    lines = []
+    for key in _KEY_ORDER:
+        value = meta.get(key)
+        rendered = "(not installed)" if value is None else value
+        lines.append(f"{key:<13} {rendered}")
     return "\n".join(lines)

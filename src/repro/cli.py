@@ -78,6 +78,51 @@ def _add_fit_memory_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="write a RunManifest JSON (span tree + metrics snapshot + "
+        "host metadata + config) to this path",
+    )
+    sub.add_argument(
+        "--metrics-format", choices=["json", "prom"], default=None,
+        help="also print the run's metrics to stdout, as JSON lines or "
+        "Prometheus text exposition",
+    )
+
+
+def _emit_observability(
+    args: argparse.Namespace,
+    name: str,
+    tracer: Any,
+    config: dict[str, Any],
+) -> None:
+    """Honour ``--trace-out`` / ``--metrics-format`` for a traced command."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        from repro.obs import RunManifest
+
+        RunManifest.from_tracer(name, tracer, config=config).save(trace_out)
+        print(f"trace manifest written to {trace_out}")
+    metrics_format = getattr(args, "metrics_format", None)
+    if metrics_format is not None:
+        from repro.obs import metrics_to_jsonl, metrics_to_prometheus
+
+        snap = tracer.registry.snapshot()
+        rendered = (
+            metrics_to_jsonl(snap)
+            if metrics_format == "json"
+            else metrics_to_prometheus(snap)
+        )
+        print(rendered, end="")
+
+
+def _format_phase_timings(timings: dict[str, float]) -> str:
+    return "  ".join(
+        f"{phase}:{seconds:.2f}" for phase, seconds in timings.items()
+    )
+
+
 def _memory_budget_bytes(args: argparse.Namespace) -> int | None:
     if getattr(args, "memory_budget_mb", None) is None:
         return None
@@ -140,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-record cluster labels here (default: stdout summary only)",
     )
     _add_fit_memory_args(cluster)
+    _add_obs_args(cluster)
 
     ev = sub.add_parser("evaluate", help="score predicted labels against truth")
     ev.add_argument("--predicted", required=True, type=Path)
@@ -190,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the fit run's per-record labels here",
     )
     _add_fit_memory_args(fit)
+    _add_obs_args(fit)
 
     assign = sub.add_parser(
         "assign", help="label a data file against a saved RockModel"
@@ -210,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-metrics", action="store_true",
         help="print the serving metrics snapshot after assignment",
     )
+    _add_obs_args(assign)
     return parser
 
 
@@ -297,7 +345,10 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         workers=_fit_workers(args),
         seed=args.seed,
     )
-    result = pipeline.fit(points)
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    result = pipeline.fit(points, tracer=tracer)
 
     sizes = result.cluster_sizes()
     rows = [
@@ -306,11 +357,24 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         ["cluster sizes", " ".join(map(str, sizes))],
         ["outliers / unassigned", int((result.labels == -1).sum())],
         ["wall-clock (s)", f"{sum(result.timings.values()):.2f}"],
+        ["phase seconds", _format_phase_timings(result.timings)],
     ]
     print(format_table(["measure", "value"], rows, title="ROCK clustering"))
     if args.output is not None:
         _write_labels(args.output, result.labels.tolist())
         print(f"labels written to {args.output}")
+    _emit_observability(
+        args, "cluster", tracer,
+        config={
+            "input": str(args.input),
+            "k": args.k,
+            "theta": args.theta,
+            "sample": args.sample,
+            "fit_mode": args.fit_mode,
+            "workers": getattr(args, "workers", None),
+            "seed": args.seed,
+        },
+    )
     return 0
 
 
@@ -428,8 +492,14 @@ def cmd_fit_model(args: argparse.Namespace) -> int:
         workers=_fit_workers(args),
         seed=args.seed,
     )
-    result, model = pipeline.fit_model(points)
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    result, model = pipeline.fit_model(points, tracer=tracer)
     model.save(args.model)
+    # render the per-phase timings off the *persisted* model metadata:
+    # this is the wiring that used to be dropped on the floor
+    fit_timings = model.metadata.get("fit_timings", {})
     rows = [
         ["records", len(points)],
         ["clusters", result.n_clusters],
@@ -437,27 +507,50 @@ def cmd_fit_model(args: argparse.Namespace) -> int:
         ["|L_i| sizes", " ".join(str(len(li)) for li in model.labeling_sets)],
         ["outliers / unassigned", int((result.labels == -1).sum())],
         ["wall-clock (s)", f"{sum(result.timings.values()):.2f}"],
+        ["phase seconds", _format_phase_timings(fit_timings)],
         ["model", args.model],
     ]
     print(format_table(["measure", "value"], rows, title="ROCK fit-model"))
     if args.labels is not None:
         _write_labels(args.labels, result.labels.tolist())
         print(f"labels written to {args.labels}")
+    _emit_observability(
+        args, "fit-model", tracer,
+        config={
+            "input": str(args.input),
+            "k": args.k,
+            "theta": args.theta,
+            "sample": args.sample,
+            "labeling_fraction": args.labeling_fraction,
+            "fit_mode": args.fit_mode,
+            "workers": getattr(args, "workers", None),
+            "seed": args.seed,
+            "model": str(args.model),
+        },
+    )
     return 0
 
 
 def cmd_assign(args: argparse.Namespace) -> int:
-    from repro.serve import ClusteringService
+    from repro.obs import Tracer
+    from repro.serve import ClusteringService, ServeMetrics
 
-    service = ClusteringService.from_file(args.model)
+    # the service records into the tracer's registry, so serving
+    # counters and the assign span land in the same manifest
+    tracer = Tracer()
+    metrics = ServeMetrics(registry=tracer.registry)
+    service = ClusteringService.from_file(args.model, metrics=metrics)
     start = time.perf_counter()
-    labels = service.assign_file(
-        args.input,
-        output=args.output,
-        input_format=args.input_format,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-    )
+    with tracer.span(
+        "assign", input=str(args.input), workers=args.workers
+    ):
+        labels = service.assign_file(
+            args.input,
+            output=args.output,
+            input_format=args.input_format,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+        )
     elapsed = time.perf_counter() - start
     n = len(labels)
     rows = [
@@ -474,6 +567,15 @@ def cmd_assign(args: argparse.Namespace) -> int:
     if args.show_metrics:
         print()
         print(service.metrics.render())
+    _emit_observability(
+        args, "assign", tracer,
+        config={
+            "model": str(args.model),
+            "input": str(args.input),
+            "workers": args.workers,
+            "chunk_size": args.chunk_size,
+        },
+    )
     return 0
 
 

@@ -23,6 +23,7 @@ link-order ablation bench.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import Any
 
 import numpy as np
 
@@ -202,6 +203,7 @@ def compute_links(
     graph: NeighborGraph,
     method: str = "auto",
     workers: int | str | None = None,
+    registry: Any | None = None,
 ) -> LinkTable:
     """Compute the link table, picking dense vs sparse by expected cost.
 
@@ -215,7 +217,9 @@ def compute_links(
     ``parallel`` is the multi-worker vectorised Figure 4 counter
     (:func:`repro.parallel.links.parallel_link_table`), which ``auto``
     also selects whenever ``workers`` resolves to more than one
-    process.  Every path returns identical counts.
+    process.  Every path returns identical counts.  A ``registry``
+    (:class:`~repro.obs.registry.MetricsRegistry`) receives the linked
+    pair count, plus per-chunk worker deltas on the parallel path.
     """
     if method not in ("auto", "dense", "sparse", "parallel"):
         raise ValueError(f"unknown method {method!r}")
@@ -224,7 +228,10 @@ def compute_links(
         from repro.parallel.pool import resolve_workers
 
         if method == "parallel" or resolve_workers(workers) > 1:
-            return parallel_link_table(graph, workers=workers)
+            table = parallel_link_table(graph, workers=workers, registry=registry)
+            if registry is not None:
+                registry.inc("fit.links.pairs", table.nnz_pairs())
+            return table
     if method == "auto":
         if not graph.has_dense:
             method = "sparse"
@@ -236,8 +243,12 @@ def compute_links(
             # costs one Python dict increment per neighbor pair
             method = "sparse" if pair_work < 4 * graph.n * graph.n else "dense"
     if method == "sparse":
-        return sparse_link_table(graph)
-    return LinkTable.from_dense(dense_link_matrix(graph))
+        table = sparse_link_table(graph)
+    else:
+        table = LinkTable.from_dense(dense_link_matrix(graph))
+    if registry is not None:
+        registry.inc("fit.links.pairs", table.nnz_pairs())
+    return table
 
 
 def weighted_link_matrix(

@@ -46,6 +46,7 @@ count.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from typing import Any
 
@@ -274,6 +275,7 @@ def compute_neighbor_graph(
     memory_budget: int | None = None,
     block_size: int | None = None,
     workers: int | str | None = None,
+    registry: Any | None = None,
 ) -> NeighborGraph:
     """Build the neighbor graph of a point set at threshold ``theta``.
 
@@ -310,6 +312,10 @@ def compute_neighbor_graph(
         more than one process, the parallel kernel takes over exactly
         where the blocked kernel would have (dense matrix over budget);
         otherwise the serial choice is unchanged.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; the
+        blocked and parallel kernels record per-block metrics into it
+        (worker-side deltas are merged back through the pool).
     """
     if not 0.0 <= theta <= 1.0:
         raise ValueError(f"theta must be in [0, 1], got {theta}")
@@ -324,7 +330,7 @@ def compute_neighbor_graph(
 
         return parallel_neighbor_graph(
             points, theta, similarity=similarity, workers=workers,
-            block_size=block_size, memory_budget=budget,
+            block_size=block_size, memory_budget=budget, registry=registry,
         )
     if (
         method == "auto"
@@ -338,16 +344,16 @@ def compute_neighbor_graph(
 
             return parallel_neighbor_graph(
                 points, theta, similarity=similarity, workers=workers,
-                block_size=block_size, memory_budget=budget,
+                block_size=block_size, memory_budget=budget, registry=registry,
             )
         return blocked_neighbor_graph(
             points, theta, similarity=similarity,
-            block_size=block_size, memory_budget=budget,
+            block_size=block_size, memory_budget=budget, registry=registry,
         )
     if method == "blocked":
         return blocked_neighbor_graph(
             points, theta, similarity=similarity,
-            block_size=block_size, memory_budget=budget,
+            block_size=block_size, memory_budget=budget, registry=registry,
         )
 
     sim_matrix = None
@@ -401,6 +407,7 @@ def blocked_neighbor_graph(
     similarity: SimilarityFunction | None = None,
     block_size: int | None = None,
     memory_budget: int | None = None,
+    registry: Any | None = None,
 ) -> NeighborGraph:
     """Memory-bounded neighbor graph: threshold similarity block by block.
 
@@ -437,7 +444,16 @@ def blocked_neighbor_graph(
     scorer = build_block_scorer(points, similarity)
     lists: list[np.ndarray] = []
     for start in range(0, n, block_size):
-        lists.extend(scorer.neighbor_rows(start, min(start + block_size, n), theta))
+        block_start = time.perf_counter()
+        rows = scorer.neighbor_rows(start, min(start + block_size, n), theta)
+        lists.extend(rows)
+        if registry is not None:
+            registry.inc("fit.neighbors.blocks")
+            registry.inc("fit.neighbors.rows", len(rows))
+            registry.inc("fit.neighbors.edges", sum(len(r) for r in rows))
+            registry.observe(
+                "fit.neighbors.block_seconds", time.perf_counter() - block_start
+            )
     return NeighborGraph.from_neighbor_lists(lists, theta=theta, validate=False)
 
 

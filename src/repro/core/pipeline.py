@@ -13,7 +13,6 @@ small clusters before resuming to ``k``.
 from __future__ import annotations
 
 import random
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
@@ -36,6 +35,7 @@ from repro.core.sampling import sample_indices
 from repro.core.similarity import SimilarityFunction
 from repro.data.records import CategoricalDataset
 from repro.data.transactions import TransactionDataset
+from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -200,7 +200,12 @@ class RockPipeline:
         self.workers = workers
         self.seed = seed
 
-    def fit(self, points: Any, label_remaining: bool = True) -> PipelineResult:
+    def fit(
+        self,
+        points: Any,
+        label_remaining: bool = True,
+        tracer: Tracer | None = None,
+    ) -> PipelineResult:
         """Run the pipeline over an in-memory point collection.
 
         ``points`` may be a :class:`TransactionDataset`, a
@@ -208,21 +213,57 @@ class RockPipeline:
         similarity function.  When ``label_remaining`` is False the
         non-sampled points keep the label -1 (used by the Figure 5
         scalability bench, which excludes labeling).
+
+        ``tracer`` is an optional :class:`~repro.obs.trace.Tracer`.
+        Every fit mode records one root ``fit`` span with a child span
+        per phase (``sample`` / ``neighbors`` / ``links`` / ``cluster``
+        / ``label``), and the kernels record counters and histograms
+        into ``tracer.registry`` -- the parallel and fused kernels merge
+        worker-side metric deltas back through the process pool, so the
+        trace survives multiprocessing.  Phase timings land in
+        ``PipelineResult.timings`` either way (they are read off the
+        spans), so passing a tracer changes observability only, never
+        results.
         """
+        tracer = tracer if tracer is not None else Tracer()
         rng = random.Random(self.seed)
-        timings: dict[str, float] = {}
         n_total = len(points)
         if n_total == 0:
             raise ValueError("cannot cluster an empty dataset")
+        workers = self.workers
+        with tracer.span(
+            "fit",
+            n_points=n_total,
+            fit_mode=self.fit_mode,
+            k=self.k,
+            theta=self.theta,
+            workers=workers,
+        ):
+            return self._fit_phases(
+                points, n_total, label_remaining, rng, tracer
+            )
+
+    def _fit_phases(
+        self,
+        points: Any,
+        n_total: int,
+        label_remaining: bool,
+        rng: random.Random,
+        tracer: Tracer,
+    ) -> PipelineResult:
+        registry = tracer.registry
+        timings: dict[str, float] = {}
 
         # -- 1. draw random sample ----------------------------------------
-        start = time.perf_counter()
-        if self.sample_size is not None and self.sample_size < n_total:
-            sampled = sample_indices(n_total, self.sample_size, rng=rng)
-        else:
-            sampled = list(range(n_total))
-        sample_points = _subset(points, sampled)
-        timings["sample"] = time.perf_counter() - start
+        with tracer.span("sample") as span:
+            if self.sample_size is not None and self.sample_size < n_total:
+                sampled = sample_indices(n_total, self.sample_size, rng=rng)
+            else:
+                sampled = list(range(n_total))
+            sample_points = _subset(points, sampled)
+            registry.set_gauge("fit.n_points", n_total)
+            registry.set_gauge("fit.n_sampled", len(sampled))
+        timings["sample"] = span.wall_seconds
 
         # -- 2 + 3. neighbors, isolated-point pruning, links ---------------
         min_neighbors = max(self.min_neighbors, 0)
@@ -233,27 +274,31 @@ class RockPipeline:
             # full link table equals computing links post-pruning.
             from repro.parallel.links import fused_neighbor_links
 
-            start = time.perf_counter()
-            fused = fused_neighbor_links(
-                sample_points, self.theta, similarity=self.similarity,
-                workers=self.workers, memory_budget=self.memory_budget,
-            )
-            kept = np.flatnonzero(fused.degrees >= min_neighbors)
-            discarded = np.flatnonzero(fused.degrees < min_neighbors)
-            outlier_sample_positions = list(discarded)
-            if len(kept) == 0:
-                raise ValueError(
-                    "every sampled point was pruned as an outlier; lower "
-                    "theta or min_neighbors"
+            with tracer.span(
+                "neighbors", fused=True, n=len(sample_points)
+            ) as span:
+                fused = fused_neighbor_links(
+                    sample_points, self.theta, similarity=self.similarity,
+                    workers=self.workers, memory_budget=self.memory_budget,
+                    registry=registry,
                 )
-            timings["neighbors"] = time.perf_counter() - start
+                kept = np.flatnonzero(fused.degrees >= min_neighbors)
+                discarded = np.flatnonzero(fused.degrees < min_neighbors)
+                outlier_sample_positions = list(discarded)
+                if len(kept) == 0:
+                    raise ValueError(
+                        "every sampled point was pruned as an outlier; lower "
+                        "theta or min_neighbors"
+                    )
+            timings["neighbors"] = span.wall_seconds
 
-            start = time.perf_counter()
-            links = (
-                fused.links if len(kept) == fused.n
-                else fused.links.subset(kept)
-            )
-            timings["links"] = time.perf_counter() - start
+            with tracer.span("links", fused=True) as span:
+                links = (
+                    fused.links if len(kept) == fused.n
+                    else fused.links.subset(kept)
+                )
+                registry.inc("fit.links.pairs", links.nnz_pairs())
+            timings["links"] = span.wall_seconds
         else:
             if self.fit_mode == "auto":
                 neighbor_method = self.neighbor_method
@@ -264,59 +309,65 @@ class RockPipeline:
                 # subset shortcut is invalid and the parallel kernels
                 # (identical output, two passes) take over.
                 neighbor_method, link_method = resolve_fit_mode(self.fit_mode)
-            start = time.perf_counter()
-            graph = compute_neighbor_graph(
-                sample_points, self.theta, similarity=self.similarity,
-                method=neighbor_method, memory_budget=self.memory_budget,
-                workers=self.workers,
-            )
-            kept, discarded = prune_sparse_points(graph, min_neighbors)
-            outlier_sample_positions = list(discarded)
-            if len(kept) == 0:
-                raise ValueError(
-                    "every sampled point was pruned as an outlier; lower "
-                    "theta or min_neighbors"
+            with tracer.span(
+                "neighbors", method=neighbor_method, n=len(sample_points)
+            ) as span:
+                graph = compute_neighbor_graph(
+                    sample_points, self.theta, similarity=self.similarity,
+                    method=neighbor_method, memory_budget=self.memory_budget,
+                    workers=self.workers, registry=registry,
                 )
-            pruned_graph: NeighborGraph = (
-                graph if len(kept) == len(graph) else graph.subgraph(kept)
-            )
-            timings["neighbors"] = time.perf_counter() - start
+                kept, discarded = prune_sparse_points(graph, min_neighbors)
+                outlier_sample_positions = list(discarded)
+                if len(kept) == 0:
+                    raise ValueError(
+                        "every sampled point was pruned as an outlier; lower "
+                        "theta or min_neighbors"
+                    )
+                pruned_graph: NeighborGraph = (
+                    graph if len(kept) == len(graph) else graph.subgraph(kept)
+                )
+            timings["neighbors"] = span.wall_seconds
 
-            start = time.perf_counter()
-            links = compute_links(
-                pruned_graph, method=link_method, workers=self.workers
-            )
-            timings["links"] = time.perf_counter() - start
+            with tracer.span("links", method=link_method) as span:
+                links = compute_links(
+                    pruned_graph, method=link_method, workers=self.workers,
+                    registry=registry,
+                )
+            timings["links"] = span.wall_seconds
 
         # -- 4. cluster (with optional pause-and-weed) ----------------------
-        start = time.perf_counter()
-        f_theta = self.f(self.theta)
-        if self.min_cluster_size is not None:
-            pause_at = weeding_stop_count(self.k, self.outlier_multiple)
-            first = cluster_with_links(
-                links, k=pause_at, f_theta=f_theta, goodness_fn=self.goodness_fn
-            )
-            survivors, weeded = weed_small_clusters(
-                first.clusters, self.min_cluster_size
-            )
-            outlier_sample_positions.extend(int(kept[p]) for p in weeded)
-            if not survivors:
-                raise ValueError(
-                    "outlier weeding removed every cluster; lower "
-                    "min_cluster_size"
+        with tracer.span("cluster", k=self.k) as span:
+            f_theta = self.f(self.theta)
+            if self.min_cluster_size is not None:
+                pause_at = weeding_stop_count(self.k, self.outlier_multiple)
+                first = cluster_with_links(
+                    links, k=pause_at, f_theta=f_theta,
+                    goodness_fn=self.goodness_fn,
                 )
-            result = cluster_with_links(
-                links,
-                k=self.k,
-                f_theta=f_theta,
-                initial_clusters=survivors,
-                goodness_fn=self.goodness_fn,
-            )
-        else:
-            result = cluster_with_links(
-                links, k=self.k, f_theta=f_theta, goodness_fn=self.goodness_fn
-            )
-        timings["cluster"] = time.perf_counter() - start
+                survivors, weeded = weed_small_clusters(
+                    first.clusters, self.min_cluster_size
+                )
+                outlier_sample_positions.extend(int(kept[p]) for p in weeded)
+                if not survivors:
+                    raise ValueError(
+                        "outlier weeding removed every cluster; lower "
+                        "min_cluster_size"
+                    )
+                result = cluster_with_links(
+                    links,
+                    k=self.k,
+                    f_theta=f_theta,
+                    initial_clusters=survivors,
+                    goodness_fn=self.goodness_fn,
+                )
+            else:
+                result = cluster_with_links(
+                    links, k=self.k, f_theta=f_theta,
+                    goodness_fn=self.goodness_fn,
+                )
+            registry.inc("fit.cluster.merges", len(result.merges))
+        timings["cluster"] = span.wall_seconds
 
         # translate pruned-graph indices -> original dataset indices
         clusters_original: list[list[int]] = [
@@ -324,34 +375,37 @@ class RockPipeline:
             for cluster in result.clusters
         ]
         outlier_indices = sorted(int(sampled[p]) for p in outlier_sample_positions)
+        registry.set_gauge("fit.n_sample_outliers", len(outlier_indices))
 
         # -- 5. label remaining data ----------------------------------------
-        start = time.perf_counter()
-        labels = np.full(n_total, -1, dtype=np.int64)
-        for c, cluster in enumerate(clusters_original):
-            for original in cluster:
-                labels[original] = c
-        labeling_sets: list[list[Any]] | None = None
-        if label_remaining and len(sampled) < n_total:
-            point_list = _as_list(points)
-            labeling_sets = draw_labeling_sets(
-                clusters_original,
-                point_list,
-                fraction=self.labeling_fraction,
-                rng=rng,
-            )
-            labeler = ClusterLabeler(
-                labeling_sets,
-                theta=self.theta,
-                similarity=self.similarity,
-                f=self.f,
-            )
-            in_sample = set(sampled)
-            for index in range(n_total):
-                if index in in_sample:
-                    continue
-                labels[index] = labeler.assign(point_list[index])
-        timings["label"] = time.perf_counter() - start
+        labeled = label_remaining and len(sampled) < n_total
+        with tracer.span("label", enabled=labeled) as span:
+            labels = np.full(n_total, -1, dtype=np.int64)
+            for c, cluster in enumerate(clusters_original):
+                for original in cluster:
+                    labels[original] = c
+            labeling_sets: list[list[Any]] | None = None
+            if labeled:
+                point_list = _as_list(points)
+                labeling_sets = draw_labeling_sets(
+                    clusters_original,
+                    point_list,
+                    fraction=self.labeling_fraction,
+                    rng=rng,
+                )
+                labeler = ClusterLabeler(
+                    labeling_sets,
+                    theta=self.theta,
+                    similarity=self.similarity,
+                    f=self.f,
+                )
+                in_sample = set(sampled)
+                for index in range(n_total):
+                    if index in in_sample:
+                        continue
+                    labels[index] = labeler.assign(point_list[index])
+                registry.inc("fit.labeled_points", n_total - len(sampled))
+        timings["label"] = span.wall_seconds
 
         full_clusters: list[list[int]] = [[] for _ in clusters_original]
         for index, label in enumerate(labels):
@@ -369,6 +423,8 @@ class RockPipeline:
         if labeling_sets is not None:
             labeling_sets = [labeling_sets[old] for old in order]
 
+        registry.set_gauge("fit.n_clusters", len(full_clusters))
+        registry.set_gauge("fit.n_unassigned", int((labels == -1).sum()))
         return PipelineResult(
             labels=labels,
             clusters=full_clusters,
@@ -393,9 +449,16 @@ class RockPipeline:
 
         return model_from_result(self, result, points)
 
-    def fit_model(self, points: Any, label_remaining: bool = True):
+    def fit_model(
+        self,
+        points: Any,
+        label_remaining: bool = True,
+        tracer: Tracer | None = None,
+    ):
         """Fit and package in one call: ``(PipelineResult, RockModel)``."""
-        result = self.fit(points, label_remaining=label_remaining)
+        result = self.fit(
+            points, label_remaining=label_remaining, tracer=tracer
+        )
         return result, self.to_model(result, points)
 
 

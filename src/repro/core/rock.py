@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.core.heaps import AddressableMaxHeap
 from repro.core.links import LinkTable, compute_links
 from repro.core.neighbors import compute_neighbor_graph
 from repro.core.similarity import SimilarityFunction
+
+if TYPE_CHECKING:  # deferred: repro.obs must stay import-light here
+    from repro.obs.trace import Tracer
 
 GoodnessFunction = Callable[[int, int, int, float], float]
 _NEG_INF = float("-inf")
@@ -236,6 +239,7 @@ def rock(
     memory_budget: int | None = None,
     fit_mode: str = "auto",
     workers: int | str | None = None,
+    tracer: "Tracer | None" = None,
 ) -> RockResult:
     """Convenience end-to-end run on in-memory points (no sampling/labeling).
 
@@ -261,11 +265,21 @@ def rock(
     and fused kernels.  Every mode yields identical clusters.  For the
     full sample -> prune -> cluster -> weed -> label pipeline of
     Figure 2, use :class:`repro.core.pipeline.RockPipeline`.
+
+    ``tracer`` is an optional :class:`~repro.obs.trace.Tracer`:
+    ``neighbors`` / ``links`` / ``cluster`` spans are recorded and the
+    kernels record metrics into ``tracer.registry``.  Tracing never
+    changes results.
     """
     if fit_mode not in FIT_MODES:
         raise ValueError(
             f"fit_mode must be one of {FIT_MODES}, got {fit_mode!r}"
         )
+    if tracer is None:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+    registry = tracer.registry
     if weighted_links:
         from repro.core.links import LinkTable, weighted_link_matrix
         from repro.core.neighbors import (
@@ -274,27 +288,44 @@ def rock(
             similarity_matrix,
         )
 
-        sim = similarity_matrix(points, similarity)
-        graph = NeighborGraph(
-            adjacency_from_similarity_matrix(sim, theta), theta=theta
-        )
-        links = LinkTable.from_dense(weighted_link_matrix(graph, sim))
+        with tracer.span("neighbors", weighted=True, n=len(points)):
+            sim = similarity_matrix(points, similarity)
+            graph = NeighborGraph(
+                adjacency_from_similarity_matrix(sim, theta), theta=theta
+            )
+        with tracer.span("links", weighted=True):
+            links = LinkTable.from_dense(weighted_link_matrix(graph, sim))
+            registry.inc("fit.links.pairs", links.nnz_pairs())
     elif fit_mode == "fused":
         from repro.parallel.links import fused_neighbor_links
 
-        links = fused_neighbor_links(
-            points, theta, similarity=similarity, workers=workers,
-            memory_budget=memory_budget,
-        ).links
+        with tracer.span("neighbors", fused=True, n=len(points)):
+            fused = fused_neighbor_links(
+                points, theta, similarity=similarity, workers=workers,
+                memory_budget=memory_budget, registry=registry,
+            )
+        with tracer.span("links", fused=True):
+            links = fused.links
+            registry.inc("fit.links.pairs", links.nnz_pairs())
     else:
         if fit_mode != "auto":
             neighbor_method, link_method = resolve_fit_mode(fit_mode)
-        graph = compute_neighbor_graph(
-            points, theta, similarity=similarity, method=neighbor_method,
-            memory_budget=memory_budget, workers=workers,
+        with tracer.span("neighbors", method=neighbor_method, n=len(points)):
+            graph = compute_neighbor_graph(
+                points, theta, similarity=similarity, method=neighbor_method,
+                memory_budget=memory_budget, workers=workers,
+                registry=registry,
+            )
+        with tracer.span("links", method=link_method):
+            links = compute_links(
+                graph, method=link_method, workers=workers, registry=registry
+            )
+    with tracer.span("cluster", k=k):
+        result = cluster_with_links(
+            links, k=k, f_theta=f(theta), goodness_fn=goodness_fn
         )
-        links = compute_links(graph, method=link_method, workers=workers)
-    return cluster_with_links(links, k=k, f_theta=f(theta), goodness_fn=goodness_fn)
+        registry.inc("fit.cluster.merges", len(result.merges))
+    return result
 
 
 def _best_key(heap: AddressableMaxHeap) -> float:

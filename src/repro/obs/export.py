@@ -1,0 +1,121 @@
+"""Exporters: JSON-lines and Prometheus text exposition, as plain strings.
+
+Both exporters consume the plain-dict forms produced by
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot` and
+:meth:`~repro.obs.trace.Tracer.to_dicts` -- no dependency on any
+metrics stack.  The Prometheus output follows the text exposition
+format version 0.0.4: one ``# HELP`` / ``# TYPE`` pair per metric
+family (never duplicated), histograms as cumulative ``_bucket{le=...}``
+series ending in ``le="+Inf"`` plus ``_sum`` / ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any
+
+__all__ = [
+    "metrics_to_jsonl",
+    "metrics_to_prometheus",
+    "prometheus_name",
+    "spans_to_jsonl",
+]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, prefix: str = "") -> str:
+    """Sanitise a dotted metric name into a Prometheus metric name."""
+    full = f"{prefix}_{name}" if prefix else name
+    full = _NAME_OK.sub("_", full)
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def metrics_to_jsonl(snapshot: dict[str, Any]) -> str:
+    """One JSON object per line, one line per instrument.
+
+    Counter/gauge lines are ``{"kind", "name", "value"}``; histogram
+    lines carry the full histogram snapshot under ``"value"``.
+    """
+    lines = []
+    for kind in ("counters", "gauges", "histograms"):
+        for name, value in snapshot.get(kind, {}).items():
+            lines.append(
+                json.dumps(
+                    {"kind": kind[:-1], "name": name, "value": value},
+                    sort_keys=True,
+                )
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_to_jsonl(span_dicts: list[dict[str, Any]]) -> str:
+    """One JSON object per span, depth-first, with a ``path`` breadcrumb.
+
+    The tree structure is preserved through ``path`` (slash-joined
+    ancestor names) and ``depth``; ``children`` are not repeated
+    inline.
+    """
+    lines: list[str] = []
+
+    def _walk(span: dict[str, Any], path: str, depth: int) -> None:
+        here = f"{path}/{span['name']}" if path else span["name"]
+        record = {k: v for k, v in span.items() if k != "children"}
+        record["path"] = here
+        record["depth"] = depth
+        lines.append(json.dumps(record, sort_keys=True))
+        for child in span.get("children", []):
+            _walk(child, here, depth + 1)
+
+    for root in span_dicts:
+        _walk(root, "", 0)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_to_prometheus(snapshot: dict[str, Any], prefix: str = "rock") -> str:
+    """Render a registry snapshot in Prometheus text exposition format."""
+    out: list[str] = []
+    seen: set[str] = set()
+
+    def _family(name: str, kind: str, source: str) -> bool:
+        if name in seen:
+            return False
+        seen.add(name)
+        out.append(f"# HELP {name} {source}")
+        out.append(f"# TYPE {name} {kind}")
+        return True
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = prometheus_name(name, prefix) + "_total"
+        if _family(metric, "counter", name):
+            out.append(f"{metric} {_fmt_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = prometheus_name(name, prefix)
+        if _family(metric, "gauge", name):
+            out.append(f"{metric} {_fmt_value(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = prometheus_name(name, prefix)
+        if not _family(metric, "histogram", name):
+            continue
+        edges = hist.get("edges", [])
+        bucket_counts = hist.get("bucket_counts", [])
+        cumulative = 0
+        for edge, count in zip(edges, bucket_counts):
+            cumulative += count
+            out.append(
+                f'{metric}_bucket{{le="{_fmt_value(float(edge))}"}} {cumulative}'
+            )
+        out.append(f'{metric}_bucket{{le="+Inf"}} {hist.get("count", 0)}')
+        out.append(f"{metric}_sum {_fmt_value(float(hist.get('sum', 0.0)))}")
+        out.append(f"{metric}_count {hist.get('count', 0)}")
+    return "\n".join(out) + ("\n" if out else "")

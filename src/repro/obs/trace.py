@@ -1,0 +1,152 @@
+"""Nestable tracing spans for fit and serve runs.
+
+A :class:`Tracer` hands out ``with tracer.span("neighbors", n=...)``
+context managers.  Each span records wall-clock seconds
+(``perf_counter``), CPU seconds (``process_time``), and the delta of
+the process's peak-RSS high-water mark across the span (0 when the
+span allocated nothing beyond the previous peak, or on platforms
+without :mod:`resource`).  Spans nest lexically -- a span opened while
+another is active becomes its child -- and the finished tree
+serialises to plain dicts, ready for a
+:class:`~repro.obs.manifest.RunManifest`.
+
+Spans are exception-safe: a span whose body raises still closes, keeps
+its timings, records the error as ``"TypeError: ..."`` on the span,
+and re-raises.  The active-span stack is thread-local, so concurrent
+threads each grow their own branch of the tree; every tracer carries a
+:class:`~repro.obs.registry.MetricsRegistry` (created on demand) so
+traced code can record metrics through the same object it was handed.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "peak_rss_bytes"]
+
+try:  # pragma: no cover - resource is stdlib on every POSIX platform
+    import resource
+except ImportError:  # pragma: no cover - Windows
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak-RSS high-water mark in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; both are
+    normalised to bytes here.
+    """
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+@dataclass
+class Span:
+    """One timed region; ``children`` are spans opened inside it."""
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    rss_delta_bytes: int = 0
+    error: str | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "rss_delta_bytes": self.rss_delta_bytes,
+            "error": self.error,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(
+            name=str(data["name"]),
+            attrs=dict(data.get("attrs", {})),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            cpu_seconds=float(data.get("cpu_seconds", 0.0)),
+            rss_delta_bytes=int(data.get("rss_delta_bytes", 0)),
+            error=data.get("error"),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+
+class Tracer:
+    """Collects a span tree (plus a metrics registry) for one run."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; yields the :class:`Span` being recorded.
+
+        The yielded span's timing fields are filled when the block
+        exits (normally or by exception), so they may be read right
+        after the ``with`` statement.
+        """
+        span = Span(name=name, attrs=attrs)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        stack.append(span)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        rss0 = peak_rss_bytes()
+        try:
+            yield span
+        except BaseException as exc:
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            span.wall_seconds = time.perf_counter() - wall0
+            span.cpu_seconds = time.process_time() - cpu0
+            span.rss_delta_bytes = max(peak_rss_bytes() - rss0, 0)
+            stack.pop()
+
+    def spans(self) -> list[Span]:
+        """The root spans recorded so far (live objects, not copies)."""
+        with self._lock:
+            return list(self._roots)
+
+    def span_names(self) -> set[str]:
+        """Every span name in the tree, flattened."""
+        return {
+            span.name for root in self.spans() for span in root.iter_spans()
+        }
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """The span tree as JSON-ready dicts."""
+        return [span.to_dict() for span in self.spans()]

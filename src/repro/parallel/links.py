@@ -23,6 +23,7 @@ Two entry points:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -35,6 +36,7 @@ from repro.core.neighbors import (
     build_block_scorer,
 )
 from repro.core.similarity import SimilarityFunction
+from repro.obs.registry import MetricsRegistry
 from repro.parallel.neighbors import block_tasks, worker_block_size
 from repro.parallel.pool import imap_chunked, resolve_workers
 
@@ -129,37 +131,52 @@ def _init_link_worker(lists: list[np.ndarray], n: int) -> None:
     _LINK_STATE["n"] = n
 
 
-def _count_link_chunk(task: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+def _count_link_chunk(
+    task: tuple[int, int],
+) -> tuple[np.ndarray, np.ndarray, dict[str, Any]]:
+    """Count one chunk's pair links; ship counts plus a metrics delta."""
     start, stop = task
-    return pair_link_counts(_LINK_STATE["lists"][start:stop], _LINK_STATE["n"])
+    t0 = time.perf_counter()
+    codes, counts = pair_link_counts(
+        _LINK_STATE["lists"][start:stop], _LINK_STATE["n"]
+    )
+    local = MetricsRegistry()
+    local.inc("fit.links.chunks")
+    local.inc("fit.links.pair_increments", int(counts.sum()))
+    local.observe("fit.links.chunk_seconds", time.perf_counter() - t0)
+    return codes, counts, local.snapshot()
 
 
 def parallel_link_table(
     graph: NeighborGraph,
     workers: int | str | None = "auto",
     chunk_size: int | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> LinkTable:
     """Figure 4 over chunks of neighbor lists, merged order-preservingly.
 
     Exactly equals :func:`repro.core.links.sparse_link_table` for any
     worker count or chunking (integer pair sums commute).  With
     ``workers <= 1`` this is still the vectorised pair-code counter, a
-    large constant-factor win over the per-pair dict loop.
+    large constant-factor win over the per-pair dict loop.  With a
+    ``registry``, worker-side metrics deltas are merged in per chunk.
     """
     count = resolve_workers(workers)
     lists = graph.neighbor_lists()
     n = graph.n
     if chunk_size is None:
         chunk_size = max(256, -(-n // max(4 * count, 1)))
-    parts = list(
-        imap_chunked(
-            _count_link_chunk,
-            block_tasks(n, chunk_size),
-            workers=count if n >= 4 * chunk_size else 1,
-            initializer=_init_link_worker,
-            initargs=(lists, n),
-        )
-    )
+    parts: list[tuple[np.ndarray, np.ndarray]] = []
+    for codes, counts, delta in imap_chunked(
+        _count_link_chunk,
+        block_tasks(n, chunk_size),
+        workers=count if n >= 4 * chunk_size else 1,
+        initializer=_init_link_worker,
+        initargs=(lists, n),
+    ):
+        parts.append((codes, counts))
+        if registry is not None:
+            registry.merge(delta)
     return LinkTable.from_pair_counts(n, *merge_pair_counts(parts))
 
 
@@ -176,13 +193,25 @@ def _init_fused_worker(scorer: BlockScorer, theta: float, keep_graph: bool) -> N
 
 def _fused_block(
     task: tuple[int, int],
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[np.ndarray] | None]:
+) -> tuple[
+    np.ndarray, np.ndarray, np.ndarray, list[np.ndarray] | None, dict[str, Any]
+]:
     start, stop = task
     scorer: BlockScorer = _FUSED_STATE["scorer"]
+    t0 = time.perf_counter()
     rows = scorer.neighbor_rows(start, stop, _FUSED_STATE["theta"])
     codes, counts = pair_link_counts(rows, scorer.n)
     degrees = np.array([len(r) for r in rows], dtype=np.int64)
-    return codes, counts, degrees, (rows if _FUSED_STATE["keep_graph"] else None)
+    local = MetricsRegistry()
+    local.inc("fit.fused.blocks")
+    local.inc("fit.fused.rows", stop - start)
+    local.inc("fit.fused.pair_increments", int(counts.sum()))
+    local.observe("fit.fused.block_seconds", time.perf_counter() - t0)
+    return (
+        codes, counts, degrees,
+        (rows if _FUSED_STATE["keep_graph"] else None),
+        local.snapshot(),
+    )
 
 
 @dataclass
@@ -214,6 +243,7 @@ def fused_neighbor_links(
     memory_budget: int | None = None,
     keep_graph: bool = False,
     prefer_sparse: bool = True,
+    registry: MetricsRegistry | None = None,
 ) -> FusedFitResult:
     """Score, threshold, and link-count each row block in one pass.
 
@@ -240,13 +270,15 @@ def fused_neighbor_links(
     pending_codes = 0
     degree_blocks: list[np.ndarray] = []
     kept_rows: list[np.ndarray] = []
-    for codes, counts, degrees, rows in imap_chunked(
+    for codes, counts, degrees, rows, delta in imap_chunked(
         _fused_block,
         block_tasks(n, block_size),
         workers=count,
         initializer=_init_fused_worker,
         initargs=(scorer, theta, keep_graph),
     ):
+        if registry is not None:
+            registry.merge(delta)
         pending.append((codes, counts))
         pending_codes += codes.size
         degree_blocks.append(degrees)

@@ -24,6 +24,7 @@ within budget.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.core.neighbors import (
@@ -34,6 +35,7 @@ from repro.core.neighbors import (
     default_block_size,
 )
 from repro.core.similarity import SimilarityFunction
+from repro.obs.registry import MetricsRegistry
 from repro.parallel.pool import imap_chunked, resolve_workers
 
 __all__ = [
@@ -57,10 +59,27 @@ def _init_neighbor_worker(scorer: BlockScorer, theta: float) -> None:
     _WORKER_STATE["theta"] = theta
 
 
-def _score_neighbor_block(task: tuple[int, int]) -> list[Any]:
+def _score_neighbor_block(
+    task: tuple[int, int],
+) -> tuple[list[Any], dict[str, Any]]:
+    """Score one row block; ship its rows plus a metrics *delta*.
+
+    Each task records into a fresh worker-local
+    :class:`~repro.obs.registry.MetricsRegistry` whose snapshot rides
+    back with the rows, so per-block activity inside the process pool
+    is observable in the parent (the same delta pattern the serving
+    path uses for :class:`~repro.serve.metrics.ServeMetrics`).
+    """
     start, stop = task
     scorer: BlockScorer = _WORKER_STATE["scorer"]
-    return scorer.neighbor_rows(start, stop, _WORKER_STATE["theta"])
+    t0 = time.perf_counter()
+    rows = scorer.neighbor_rows(start, stop, _WORKER_STATE["theta"])
+    local = MetricsRegistry()
+    local.inc("fit.neighbors.blocks")
+    local.inc("fit.neighbors.rows", stop - start)
+    local.inc("fit.neighbors.edges", sum(len(r) for r in rows))
+    local.observe("fit.neighbors.block_seconds", time.perf_counter() - t0)
+    return rows, local.snapshot()
 
 
 def block_tasks(n: int, block_size: int) -> list[tuple[int, int]]:
@@ -88,6 +107,7 @@ def parallel_neighbor_graph(
     memory_budget: int | None = None,
     min_points: int = PARALLEL_MIN_POINTS,
     prefer_sparse: bool = True,
+    registry: MetricsRegistry | None = None,
 ) -> NeighborGraph:
     """Blocked neighbor graph with row blocks fanned out across workers.
 
@@ -95,7 +115,9 @@ def parallel_neighbor_graph(
     (and the dense path) for every worker count.  Below ``min_points``
     points, or at a resolved worker count of 1, the same scorer runs
     the block schedule inline -- no pool, no process startup, same
-    results.
+    results.  With a ``registry``, every block's worker-side metrics
+    delta (block count, rows, edges, per-block seconds) is merged in as
+    it streams back.
     """
     if not 0.0 <= theta <= 1.0:
         raise ValueError(f"theta must be in [0, 1], got {theta}")
@@ -109,7 +131,7 @@ def parallel_neighbor_graph(
     if block_size is None:
         block_size = worker_block_size(n, count, memory_budget)
     lists: list[Any] = []
-    for rows in imap_chunked(
+    for rows, delta in imap_chunked(
         _score_neighbor_block,
         block_tasks(n, block_size),
         workers=count,
@@ -117,4 +139,6 @@ def parallel_neighbor_graph(
         initargs=(scorer, theta),
     ):
         lists.extend(rows)
+        if registry is not None:
+            registry.merge(delta)
     return NeighborGraph.from_neighbor_lists(lists, theta=theta, validate=False)

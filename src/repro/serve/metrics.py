@@ -1,73 +1,61 @@
-"""Lightweight serving metrics: counters, batch-size histogram, latency.
+"""Serving metrics as a thin adapter over the shared metrics registry.
 
 A deployable assignment service needs observability, but this library
 must not grow a dependency on a metrics stack.  :class:`ServeMetrics`
-keeps everything as plain numbers behind one lock and exposes a
-``snapshot()`` dict that benchmarks, tests and the CLI can print or
-assert on.  All recording methods are cheap enough for the hot path
-(one lock acquisition, a handful of integer adds).
+used to hand-roll its own counters, batch-size bucket array and
+``_LatencyStat``; that machinery now lives in
+:class:`repro.obs.registry.MetricsRegistry`, and this module keeps only
+the serving-specific *view*: the legacy ``snapshot()`` /  ``merge()``
+dict shape (``requests`` / ``points`` / ``cache`` / ``batch_sizes`` /
+``latency``) that the engine, the multiprocessing stream path, the CLI
+and the benchmarks already speak.  Callers that want the raw registry
+(e.g. to export Prometheus text or fold serving metrics into a
+:class:`~repro.obs.manifest.RunManifest`) can pass one in or read
+``metrics.registry``.
+
+Registry metric names: ``serve.requests`` / ``serve.points`` /
+``serve.outliers``, ``serve.cache.{hits,misses,uncacheable}``, the
+``serve.batch_size`` histogram over :data:`BATCH_SIZE_BUCKETS`, and one
+``serve.latency.<stage>`` summary histogram per stage.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any
+
+from repro.obs.registry import MetricsRegistry, bucket_labels
 
 # upper edges of the batch-size histogram buckets; the last bucket is
 # open-ended
 BATCH_SIZE_BUCKETS = (1, 8, 64, 512, 4096)
 
-
-class _LatencyStat:
-    """Running count/total/min/max of one stage's wall-clock seconds."""
-
-    __slots__ = ("count", "total", "min", "max")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        self.min = min(self.min, seconds)
-        self.max = max(self.max, seconds)
-
-    def snapshot(self) -> dict[str, float]:
-        return {
-            "count": self.count,
-            "total_seconds": self.total,
-            "mean_seconds": self.total / self.count if self.count else 0.0,
-            "min_seconds": self.min if self.count else 0.0,
-            "max_seconds": self.max,
-        }
-
-    def merge_snapshot(self, snap: dict[str, float]) -> None:
-        """Fold another stat's ``snapshot()`` into this one."""
-        count = int(snap["count"])
-        if count == 0:
-            return
-        self.count += count
-        self.total += snap["total_seconds"]
-        self.min = min(self.min, snap["min_seconds"])
-        self.max = max(self.max, snap["max_seconds"])
+_LATENCY_PREFIX = "serve.latency."
 
 
 class ServeMetrics:
-    """Thread-safe counters and histograms for the assignment path."""
+    """Thread-safe counters and histograms for the assignment path.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._requests = 0
-        self._points = 0
-        self._outliers = 0
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._uncacheable = 0
-        self._batch_sizes = [0] * (len(BATCH_SIZE_BUCKETS) + 1)
-        self._latency: dict[str, _LatencyStat] = {}
+    All state lives in a :class:`~repro.obs.registry.MetricsRegistry`
+    (a fresh private one by default, or a shared one passed in via
+    ``registry`` -- e.g. a :class:`~repro.obs.trace.Tracer`'s, so fit
+    and serve metrics land in one manifest).  The public ``snapshot()``
+    / ``merge()`` dict format is unchanged from the pre-registry
+    implementation; serve tests and the worker-delta protocol of
+    :func:`repro.serve.parallel.assign_stream` run unmodified.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._requests = r.counter("serve.requests")
+        self._points = r.counter("serve.points")
+        self._outliers = r.counter("serve.outliers")
+        self._cache_hits = r.counter("serve.cache.hits")
+        self._cache_misses = r.counter("serve.cache.misses")
+        self._uncacheable = r.counter("serve.cache.uncacheable")
+        self._batch_sizes = r.histogram(
+            "serve.batch_size", edges=BATCH_SIZE_BUCKETS
+        )
 
     def record_batch(
         self,
@@ -86,20 +74,18 @@ class ServeMetrics:
         disabled) are reported as ``uncacheable`` so the hit rate stays
         an honest lookup ratio.
         """
-        with self._lock:
-            self._requests += 1
-            self._points += n_points
-            self._outliers += n_outliers
-            self._cache_hits += cache_hits
-            self._cache_misses += cache_misses
-            self._uncacheable += uncacheable
-            self._batch_sizes[self._bucket(n_points)] += 1
-            self._latency.setdefault(stage, _LatencyStat()).observe(seconds)
+        self._requests.inc()
+        self._points.inc(n_points)
+        self._outliers.inc(n_outliers)
+        self._cache_hits.inc(cache_hits)
+        self._cache_misses.inc(cache_misses)
+        self._uncacheable.inc(uncacheable)
+        self._batch_sizes.observe(n_points)
+        self.registry.observe(_LATENCY_PREFIX + stage, seconds)
 
     def observe_latency(self, stage: str, seconds: float) -> None:
         """Record wall-clock seconds for an arbitrary named stage."""
-        with self._lock:
-            self._latency.setdefault(stage, _LatencyStat()).observe(seconds)
+        self.registry.observe(_LATENCY_PREFIX + stage, seconds)
 
     def merge(self, snap: dict[str, Any]) -> None:
         """Fold a ``snapshot()`` dict into this sink.
@@ -109,62 +95,94 @@ class ServeMetrics:
         records into its own :class:`ServeMetrics`, ships the snapshot
         back with its labels, and the caller's sink merges it.  Every
         counter is additive; latency stats combine count/total/min/max.
+        The legacy dict is translated into generic histogram snapshots
+        (batch-size extrema were never tracked, so they are merged as
+        unknown and the bucket counts carry the information).
         """
         cache = snap.get("cache", {})
-        with self._lock:
-            self._requests += int(snap.get("requests", 0))
-            self._points += int(snap.get("points", 0))
-            self._outliers += int(snap.get("outliers", 0))
-            self._cache_hits += int(cache.get("hits", 0))
-            self._cache_misses += int(cache.get("misses", 0))
-            self._uncacheable += int(cache.get("uncacheable", 0))
-            sizes = snap.get("batch_sizes", {})
-            labels = [f"<={edge}" for edge in BATCH_SIZE_BUCKETS] + [
-                f">{BATCH_SIZE_BUCKETS[-1]}"
-            ]
-            for i, label in enumerate(labels):
-                self._batch_sizes[i] += int(sizes.get(label, 0))
-            for stage, stat_snap in snap.get("latency", {}).items():
-                self._latency.setdefault(stage, _LatencyStat()).merge_snapshot(
-                    stat_snap
-                )
-
-    @staticmethod
-    def _bucket(n_points: int) -> int:
-        for i, edge in enumerate(BATCH_SIZE_BUCKETS):
-            if n_points <= edge:
-                return i
-        return len(BATCH_SIZE_BUCKETS)
+        sizes = snap.get("batch_sizes", {})
+        labels = bucket_labels(BATCH_SIZE_BUCKETS)
+        bucket_counts = [int(sizes.get(label, 0)) for label in labels]
+        histograms: dict[str, Any] = {
+            "serve.batch_size": {
+                "count": sum(bucket_counts),
+                # each request observes its point count, so the
+                # histogram's sum is exactly the points counter
+                "sum": float(snap.get("points", 0)),
+                "edges": [float(edge) for edge in BATCH_SIZE_BUCKETS],
+                "bucket_counts": bucket_counts,
+            },
+        }
+        for stage, stat in snap.get("latency", {}).items():
+            histograms[_LATENCY_PREFIX + stage] = {
+                "count": int(stat["count"]),
+                "sum": float(stat["total_seconds"]),
+                "min": float(stat["min_seconds"]),
+                "max": float(stat["max_seconds"]),
+            }
+        self.registry.merge(
+            {
+                "counters": {
+                    "serve.requests": int(snap.get("requests", 0)),
+                    "serve.points": int(snap.get("points", 0)),
+                    "serve.outliers": int(snap.get("outliers", 0)),
+                    "serve.cache.hits": int(cache.get("hits", 0)),
+                    "serve.cache.misses": int(cache.get("misses", 0)),
+                    "serve.cache.uncacheable": int(cache.get("uncacheable", 0)),
+                },
+                "histograms": histograms,
+            }
+        )
 
     def snapshot(self) -> dict[str, Any]:
-        """A plain-dict view of every counter, safe to JSON-serialise."""
-        with self._lock:
-            labels = [f"<={edge}" for edge in BATCH_SIZE_BUCKETS] + [
-                f">{BATCH_SIZE_BUCKETS[-1]}"
-            ]
-            total_lookups = self._cache_hits + self._cache_misses
-            return {
-                "requests": self._requests,
-                "points": self._points,
-                "outliers": self._outliers,
-                "outlier_rate": (
-                    self._outliers / self._points if self._points else 0.0
-                ),
-                "cache": {
-                    "hits": self._cache_hits,
-                    "misses": self._cache_misses,
-                    "uncacheable": self._uncacheable,
-                    "lookups": total_lookups,
-                    "hit_rate": (
-                        self._cache_hits / total_lookups if total_lookups else 0.0
-                    ),
-                },
-                "batch_sizes": dict(zip(labels, self._batch_sizes)),
-                "latency": {
-                    stage: stat.snapshot()
-                    for stage, stat in sorted(self._latency.items())
-                },
+        """A plain-dict view of every counter, safe to JSON-serialise.
+
+        Shape is the legacy serving format, reconstructed from the
+        registry's atomic snapshot -- byte-for-byte what the
+        pre-registry implementation produced.
+        """
+        registry_snap = self.registry.snapshot()
+        counters = registry_snap["counters"]
+        hists = registry_snap["histograms"]
+        points = int(counters.get("serve.points", 0))
+        outliers = int(counters.get("serve.outliers", 0))
+        hits = int(counters.get("serve.cache.hits", 0))
+        misses = int(counters.get("serve.cache.misses", 0))
+        total_lookups = hits + misses
+        batch = hists.get("serve.batch_size", {})
+        bucket_counts = batch.get(
+            "bucket_counts", [0] * (len(BATCH_SIZE_BUCKETS) + 1)
+        )
+        latency: dict[str, dict[str, float]] = {}
+        for name in sorted(hists):
+            if not name.startswith(_LATENCY_PREFIX):
+                continue
+            h = hists[name]
+            count = int(h["count"])
+            latency[name[len(_LATENCY_PREFIX):]] = {
+                "count": count,
+                "total_seconds": h["sum"],
+                "mean_seconds": h["sum"] / count if count else 0.0,
+                "min_seconds": h.get("min", 0.0),
+                "max_seconds": h.get("max", 0.0),
             }
+        return {
+            "requests": int(counters.get("serve.requests", 0)),
+            "points": points,
+            "outliers": outliers,
+            "outlier_rate": outliers / points if points else 0.0,
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "uncacheable": int(counters.get("serve.cache.uncacheable", 0)),
+                "lookups": total_lookups,
+                "hit_rate": hits / total_lookups if total_lookups else 0.0,
+            },
+            "batch_sizes": dict(
+                zip(bucket_labels(BATCH_SIZE_BUCKETS), bucket_counts)
+            ),
+            "latency": latency,
+        }
 
     def render(self) -> str:
         """A small human-readable summary for CLI / benchmark output."""

@@ -218,6 +218,13 @@ def model_from_result(
         "uses_default_f": pipeline.f is default_f,
         "fit_mode": getattr(pipeline, "fit_mode", "auto"),
         "workers": getattr(pipeline, "workers", None),
+        # per-phase wall-clock of the producing run; previously this
+        # died with the PipelineResult and tools downstream could only
+        # show a summed total
+        "fit_timings": {
+            phase: float(seconds)
+            for phase, seconds in result.timings.items()
+        },
     }
     return RockModel(
         labeling_sets=labeling_sets,

@@ -1,0 +1,141 @@
+"""Tests for repro.obs.export: JSONL and Prometheus text renderings."""
+
+import json
+
+from repro.obs.export import (
+    metrics_to_jsonl,
+    metrics_to_prometheus,
+    prometheus_name,
+    spans_to_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def make_snapshot():
+    r = MetricsRegistry()
+    r.inc("fit.links.pairs", 42)
+    r.set_gauge("fit.n_clusters", 7)
+    h = r.histogram("serve.batch_size", edges=(1, 8, 64))
+    for v in (1, 5, 100):
+        h.observe(v)
+    r.observe("serve.latency.total", 0.25)
+    return r.snapshot()
+
+
+class TestJsonl:
+    def test_every_line_parses(self):
+        text = metrics_to_jsonl(make_snapshot())
+        lines = text.strip().split("\n")
+        assert len(lines) == 4
+        records = [json.loads(line) for line in lines]
+        assert {r["kind"] for r in records} == {"counter", "gauge", "histogram"}
+
+    def test_counter_and_histogram_payloads(self):
+        records = {
+            r["name"]: r
+            for r in map(json.loads,
+                         metrics_to_jsonl(make_snapshot()).strip().split("\n"))
+        }
+        assert records["fit.links.pairs"] == {
+            "kind": "counter", "name": "fit.links.pairs", "value": 42,
+        }
+        hist = records["serve.batch_size"]["value"]
+        assert hist["count"] == 3
+        assert hist["edges"] == [1.0, 8.0, 64.0]
+        assert hist["bucket_counts"] == [1, 1, 0, 1]
+
+    def test_empty_snapshot_renders_empty(self):
+        assert metrics_to_jsonl({}) == ""
+        assert metrics_to_jsonl(MetricsRegistry().snapshot()) == ""
+
+
+class TestSpansJsonl:
+    def test_path_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("fit"):
+            with tracer.span("neighbors"):
+                with tracer.span("block"):
+                    pass
+            with tracer.span("links"):
+                pass
+        records = [
+            json.loads(line)
+            for line in spans_to_jsonl(tracer.to_dicts()).strip().split("\n")
+        ]
+        by_path = {r["path"]: r for r in records}
+        assert set(by_path) == {
+            "fit", "fit/neighbors", "fit/neighbors/block", "fit/links",
+        }
+        assert by_path["fit"]["depth"] == 0
+        assert by_path["fit/neighbors/block"]["depth"] == 2
+        # the tree is flattened: no inline children arrays
+        assert all("children" not in r for r in records)
+
+    def test_empty_input(self):
+        assert spans_to_jsonl([]) == ""
+
+
+class TestPrometheus:
+    def test_counter_gets_total_suffix(self):
+        text = metrics_to_prometheus(make_snapshot())
+        assert "rock_fit_links_pairs_total 42" in text
+        assert "# TYPE rock_fit_links_pairs_total counter" in text
+
+    def test_gauge_rendered_plain(self):
+        text = metrics_to_prometheus(make_snapshot())
+        assert "rock_fit_n_clusters 7" in text
+        assert "# TYPE rock_fit_n_clusters gauge" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = metrics_to_prometheus(make_snapshot())
+        assert 'rock_serve_batch_size_bucket{le="1.0"} 1' in text
+        assert 'rock_serve_batch_size_bucket{le="8.0"} 2' in text
+        assert 'rock_serve_batch_size_bucket{le="64.0"} 2' in text
+        assert 'rock_serve_batch_size_bucket{le="+Inf"} 3' in text
+        assert "rock_serve_batch_size_count 3" in text
+        assert "rock_serve_batch_size_sum 106.0" in text
+
+    def test_summary_histogram_has_inf_bucket_only(self):
+        text = metrics_to_prometheus(make_snapshot())
+        assert 'rock_serve_latency_total_bucket{le="+Inf"} 1' in text
+        assert "rock_serve_latency_total_count 1" in text
+
+    def test_no_duplicate_help_or_type_lines(self):
+        text = metrics_to_prometheus(make_snapshot())
+        help_lines = [ln for ln in text.splitlines() if ln.startswith("# HELP")]
+        type_lines = [ln for ln in text.splitlines() if ln.startswith("# TYPE")]
+        assert len(help_lines) == len(set(help_lines))
+        assert len(type_lines) == len(set(type_lines))
+        assert len(help_lines) == len(type_lines) == 4
+
+    def test_every_sample_line_is_well_formed(self):
+        for line in metrics_to_prometheus(make_snapshot()).splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            bare = name_part.split("{", 1)[0]
+            assert prometheus_name(bare) == bare  # already sanitised
+
+    def test_tolerates_missing_extrema_keys(self):
+        # legacy-merged histograms omit min/max; exporters must not care
+        snap = {"histograms": {"h": {"count": 2, "sum": 3.0}}}
+        text = metrics_to_prometheus(snap)
+        assert "rock_h_count 2" in text
+        json_lines = metrics_to_jsonl(snap)
+        assert json.loads(json_lines)["value"] == {"count": 2, "sum": 3.0}
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("fit.links.pairs", "rock") == "rock_fit_links_pairs"
+
+    def test_illegal_chars_replaced(self):
+        assert prometheus_name("a-b c%d") == "a_b_c_d"
+
+    def test_leading_digit_prefixed(self):
+        assert prometheus_name("9lives") == "_9lives"
+
+    def test_no_prefix(self):
+        assert prometheus_name("plain") == "plain"

@@ -1,0 +1,232 @@
+"""Tests for repro.obs.registry: instruments, snapshots, merge semantics."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import Histogram, MetricsRegistry, bucket_labels
+
+
+class TestCounter:
+    def test_inc_and_snapshot(self):
+        r = MetricsRegistry()
+        r.inc("a")
+        r.inc("a", 4)
+        assert r.snapshot()["counters"] == {"a": 5}
+
+    def test_negative_increment_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError, match="counters only go up"):
+            r.inc("a", -1)
+
+    def test_create_or_return_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        r = MetricsRegistry()
+        r.set_gauge("g", 3)
+        r.set_gauge("g", 7)
+        assert r.snapshot()["gauges"] == {"g": 7}
+
+    def test_merge_is_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("g", 1)
+        b.set_gauge("g", 99)
+        a.merge(b.snapshot())
+        assert a.snapshot()["gauges"]["g"] == 99
+
+
+class TestHistogram:
+    def test_empty_snapshot_has_zero_extrema(self):
+        h = Histogram(threading.Lock())
+        snap = h.snapshot()
+        assert snap == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0}
+
+    def test_summary_observe(self):
+        r = MetricsRegistry()
+        for v in (2.0, 5.0, 3.0):
+            r.observe("h", v)
+        snap = r.snapshot()["histograms"]["h"]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(10.0)
+        assert snap["min"] == 2.0
+        assert snap["max"] == 5.0
+        assert "edges" not in snap
+
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        r = MetricsRegistry()
+        h = r.histogram("h", edges=(1, 8, 64))
+        # exactly on an edge lands in that bucket; above the last edge
+        # falls into the open-ended overflow bucket
+        for v in (1, 2, 8, 9, 64, 65, 1000):
+            h.observe(v)
+        assert h.bucket_counts == [1, 2, 2, 2]
+        assert h.labeled_buckets() == {
+            "<=1": 1, "<=8": 2, "<=64": 2, ">64": 2,
+        }
+
+    def test_non_ascending_edges_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly ascending"):
+            r.histogram("h", edges=(1, 1, 2))
+
+    def test_conflicting_edges_rejected(self):
+        r = MetricsRegistry()
+        r.histogram("h", edges=(1, 2))
+        with pytest.raises(ValueError, match="already registered"):
+            r.histogram("h", edges=(1, 3))
+
+
+class TestMerge:
+    def test_empty_merge_is_noop(self):
+        r = MetricsRegistry()
+        r.inc("c", 3)
+        r.observe("h", 1.5)
+        before = r.snapshot()
+        r.merge({})
+        r.merge(MetricsRegistry().snapshot())
+        assert r.snapshot() == before
+
+    def test_merge_doubles_everything(self):
+        r = MetricsRegistry()
+        r.inc("c", 3)
+        h = r.histogram("h", edges=(1, 10))
+        h.observe(0.5)
+        h.observe(20)
+        snap = r.snapshot()
+        r.merge(snap)
+        merged = r.snapshot()
+        assert merged["counters"]["c"] == 6
+        hist = merged["histograms"]["h"]
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(41.0)
+        assert hist["bucket_counts"] == [2, 0, 2]
+        # extrema are min/max, not sums
+        assert hist["min"] == 0.5
+        assert hist["max"] == 20
+
+    def test_merge_combines_extrema(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 5.0)
+        b.observe("h", 1.0)
+        b.observe("h", 9.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()["histograms"]["h"]
+        assert snap["min"] == 1.0
+        assert snap["max"] == 9.0
+        assert snap["count"] == 3
+
+    def test_merge_without_extrema_keys_leaves_extrema(self):
+        r = MetricsRegistry()
+        r.observe("h", 5.0)
+        r.merge({"histograms": {"h": {"count": 2, "sum": 8.0}}})
+        snap = r.snapshot()["histograms"]["h"]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(13.0)
+        assert snap["min"] == 5.0
+        assert snap["max"] == 5.0
+
+    def test_merge_unknown_extrema_snapshot_omits_keys(self):
+        # a histogram whose only observations arrived extrema-less
+        # reports no min/max rather than lying (or emitting inf)
+        r = MetricsRegistry()
+        r.histogram("h", edges=(1, 2))
+        r.merge({
+            "histograms": {
+                "h": {"count": 2, "sum": 3.0, "edges": [1.0, 2.0],
+                      "bucket_counts": [1, 1, 0]},
+            },
+        })
+        snap = r.snapshot()["histograms"]["h"]
+        assert snap["count"] == 2
+        assert "min" not in snap
+        assert "max" not in snap
+
+    def test_merge_zero_count_histogram_is_noop(self):
+        r = MetricsRegistry()
+        r.observe("h", 2.0)
+        r.merge({"histograms": {"h": {"count": 0, "sum": 0.0,
+                                      "min": 0.0, "max": 0.0}}})
+        snap = r.snapshot()["histograms"]["h"]
+        assert snap["count"] == 1
+        assert snap["min"] == 2.0
+
+    def test_merge_mismatched_edges_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", edges=(1, 2)).observe(1)
+        b.histogram("h", edges=(1, 3)).observe(1)
+        with pytest.raises(ValueError, match="edges"):
+            a.merge(b.snapshot())
+
+    def test_merge_creates_missing_instruments(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.inc("only.in.b", 2)
+        b.set_gauge("g", 4)
+        b.histogram("h", edges=(10,)).observe(3)
+        a.merge(b.snapshot())
+        assert a.snapshot() == b.snapshot()
+
+    def test_merge_is_order_independent_for_counters_and_histograms(self):
+        def build():
+            r = MetricsRegistry()
+            return r
+
+        snaps = []
+        for values in ((1.0, 2.0), (3.0,), (0.5, 4.0)):
+            r = build()
+            for v in values:
+                r.inc("c")
+                r.observe("h", v)
+            snaps.append(r.snapshot())
+        forward, backward = build(), build()
+        for s in snaps:
+            forward.merge(s)
+        for s in reversed(snaps):
+            backward.merge(s)
+        assert forward.snapshot() == backward.snapshot()
+
+
+class TestRegistry:
+    def test_name_bound_to_one_kind(self):
+        r = MetricsRegistry()
+        r.inc("x")
+        with pytest.raises(ValueError, match="already bound"):
+            r.set_gauge("x", 1)
+        with pytest.raises(ValueError, match="already bound"):
+            r.observe("x", 1.0)
+
+    def test_snapshot_sorted_and_json_plain(self):
+        import json
+
+        r = MetricsRegistry()
+        r.inc("z")
+        r.inc("a")
+        snap = r.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        json.dumps(snap)  # must not raise
+
+    def test_concurrent_increments(self):
+        r = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                r.inc("c")
+                r.observe("h", 1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = r.snapshot()
+        assert snap["counters"]["c"] == 4000
+        assert snap["histograms"]["h"]["count"] == 4000
+
+
+def test_bucket_labels_format():
+    assert bucket_labels((1, 8, 64)) == ["<=1", "<=8", "<=64", ">64"]
+    assert bucket_labels((0.5,)) == ["<=0.5", ">0.5"]
+    assert bucket_labels(()) == []

@@ -1,0 +1,142 @@
+"""Tests for repro.obs.trace: span nesting, exception safety, round trips."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Span, Tracer, peak_rss_bytes
+
+
+class TestSpanNesting:
+    def test_single_span_records_timings(self):
+        tracer = Tracer()
+        with tracer.span("work", n=3) as span:
+            pass
+        assert span.name == "work"
+        assert span.attrs == {"n": 3}
+        assert span.wall_seconds >= 0.0
+        assert span.cpu_seconds >= 0.0
+        assert span.error is None
+        assert tracer.spans() == [span]
+
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("inner_b"):
+                pass
+        roots = tracer.spans()
+        assert [s.name for s in roots] == ["outer"]
+        outer = roots[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert [c.name for c in outer.children[0].children] == ["leaf"]
+        assert tracer.span_names() == {"outer", "inner_a", "inner_b", "leaf"}
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.spans()] == ["first", "second"]
+
+    def test_span_names_is_a_set(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("a"):
+                pass
+        assert tracer.span_names() == {"a"}
+
+
+class TestExceptionSafety:
+    def test_error_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise ValueError("boom")
+        outer = tracer.spans()[0]
+        failing = outer.children[0]
+        assert failing.error == "ValueError: boom"
+        assert outer.error == "ValueError: boom"
+        # timings are still filled in on the error path
+        assert failing.wall_seconds >= 0.0
+
+    def test_stack_unwinds_after_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("bad"):
+                raise RuntimeError("x")
+        with tracer.span("good"):
+            pass
+        # "good" is a new root, not a child of the failed span
+        assert [s.name for s in tracer.spans()] == ["bad", "good"]
+        assert tracer.spans()[0].children == []
+
+
+class TestRegistry:
+    def test_tracer_owns_a_registry_by_default(self):
+        tracer = Tracer()
+        assert isinstance(tracer.registry, MetricsRegistry)
+
+    def test_tracer_accepts_shared_registry(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        assert tracer.registry is registry
+        tracer.registry.inc("x")
+        assert registry.snapshot()["counters"]["x"] == 1
+
+
+class TestSerialization:
+    def test_to_dict_from_dict_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("outer", mode="parallel"):
+            with tracer.span("inner", n=5):
+                pass
+        dumped = tracer.to_dicts()
+        restored = [Span.from_dict(d) for d in dumped]
+        assert [s.to_dict() for s in restored] == dumped
+        assert restored[0].name == "outer"
+        assert restored[0].attrs == {"mode": "parallel"}
+        assert restored[0].children[0].attrs == {"n": 5}
+
+    def test_iter_spans_is_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        root = tracer.spans()[0]
+        assert [s.name for s in root.iter_spans()] == ["root", "a", "a1", "b"]
+
+
+class TestThreading:
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(label):
+            with tracer.span(label):
+                barrier.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # both spans are roots: neither thread saw the other's stack
+        assert {s.name for s in tracer.spans()} == {"t0", "t1"}
+        assert all(not s.children for s in tracer.spans())
+
+
+def test_peak_rss_bytes_is_plausible():
+    rss = peak_rss_bytes()
+    # more than a megabyte, less than a terabyte
+    assert 1 << 20 < rss < 1 << 40
