@@ -16,12 +16,13 @@ bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # tiny-n proofs that the blocked and parallel (workers=2) fit paths
-# work and equal the dense path, and that a traced fit leaves a
+# work and equal the dense path, that the fast merge engine matches
+# the reference loop byte for byte, and that a traced fit leaves a
 # complete RunManifest -- fast enough for CI
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/bench_blocked_fit.py benchmarks/bench_parallel_fit.py \
-		benchmarks/bench_trace_fit.py \
+		benchmarks/bench_merge_phase.py benchmarks/bench_trace_fit.py \
 		-k smoke --benchmark-disable -s
 
 bench-serve:

@@ -1,0 +1,193 @@
+"""Merge-phase engines: the Figure 3 reference loop vs the fast engine.
+
+The fast merge engine (:mod:`repro.core.merge`) decomposes the cluster
+link graph into connected components, agglomerates each to exhaustion
+with lazy local heaps and a memoized power table, and k-way replays the
+per-component streams -- reproducing the reference loop's result byte
+for byte.  Two benches over the well-separated clustered baskets of
+:mod:`benchmarks.bench_blocked_fit` (24-point clusters, so the merge
+phase is many small independent components -- the regime the component
+partition targets):
+
+* a **smoke** run at tiny ``n`` proving reference, fast, and fast with
+  ``workers=2`` produce the identical :class:`~repro.core.rock.RockResult`
+  (clusters *and* full merge history) and leaving a RunManifest; this
+  is what ``make bench-smoke`` runs in CI;
+* a **full-scale** curve (marked ``slow``) timing the cluster phase
+  alone at ``n`` up to 30,240, asserting the fast engine's single-core
+  algorithmic win (>= 3x on the cluster phase at the largest ``n``)
+  with in-bench identity checks at every size.
+
+Links are computed once per size and shared by all engines, so only
+the merge loop is timed.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.machine import machine_summary
+from repro.core.goodness import default_f
+from repro.core.links import sparse_link_table
+from repro.core.merge import fast_cluster_with_links
+from repro.core.neighbors import compute_neighbor_graph
+from repro.core.rock import cluster_with_links
+from repro.obs import RunManifest, Tracer
+
+THETA = 0.5
+SMOKE_N_CLUSTERS = 12
+CURVE_N_CLUSTERS = (105, 420, 1260)  # n = 2520, 10080, 30240
+SPEEDUP_FLOOR = 3.0
+
+
+def build_links(n_clusters: int):
+    from benchmarks.bench_blocked_fit import make_clustered_baskets
+
+    dataset = make_clustered_baskets(n_clusters)
+    graph = compute_neighbor_graph(dataset, THETA)
+    return len(dataset), sparse_link_table(graph)
+
+
+def run_engines(links, k: int, tracer=None):
+    """Time the merge phase per engine over one shared link table."""
+    f_theta = default_f(THETA)
+    rows = {}
+
+    def timed(name, fn):
+        if tracer is None:
+            start = time.perf_counter()
+            result = fn()
+            seconds = time.perf_counter() - start
+        else:
+            with tracer.span(name, k=k):
+                start = time.perf_counter()
+                result = fn()
+                seconds = time.perf_counter() - start
+            tracer.registry.set_gauge(f"bench.merge.{name}_seconds", seconds)
+        rows[name] = (seconds, result)
+        return result
+
+    registry = None if tracer is None else tracer.registry
+    timed("heap", lambda: cluster_with_links(
+        links, k=k, f_theta=f_theta, merge_method="heap"
+    ))
+    timed("fast", lambda: fast_cluster_with_links(
+        links, k=k, f_theta=f_theta, registry=registry
+    ))
+    timed("fast_w2", lambda: fast_cluster_with_links(
+        links, k=k, f_theta=f_theta, workers=2, registry=registry
+    ))
+    return rows
+
+
+def assert_engines_identical(rows) -> None:
+    _, reference = rows["heap"]
+    for name in ("fast", "fast_w2"):
+        _, result = rows[name]
+        assert result.clusters == reference.clusters, name
+        assert result.merges == reference.merges, name
+        assert result.stopped_early == reference.stopped_early, name
+
+
+def format_rows(n: int, rows) -> list[str]:
+    heap_s = rows["heap"][0]
+    lines = [f"{'engine':<10} {'cluster_s':>10} {'speedup':>8}"]
+    for name, (seconds, _) in rows.items():
+        speedup = heap_s / max(seconds, 1e-9)
+        lines.append(f"{name:<10} {seconds:>10.3f} {speedup:>7.2f}x")
+    return lines
+
+
+def test_merge_phase_smoke(benchmark, save_result, save_manifest):
+    n, links = build_links(SMOKE_N_CLUSTERS)
+    tracer = Tracer()
+    holder = {}
+    benchmark.pedantic(
+        lambda: holder.setdefault(
+            "rows", run_engines(links, k=SMOKE_N_CLUSTERS, tracer=tracer)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = holder["rows"]
+    assert_engines_identical(rows)
+
+    # the fast engine's obs counters flowed into the shared registry
+    counters = tracer.registry.snapshot()["counters"]
+    assert counters["fit.cluster.components"] >= SMOKE_N_CLUSTERS
+    assert counters["fit.cluster.heap_ops"] > 0
+
+    manifest = RunManifest.from_tracer(
+        "bench_merge_phase_smoke", tracer,
+        config={"n": n, "theta": THETA, "k": SMOKE_N_CLUSTERS,
+                "engines": list(rows)},
+    )
+    save_manifest("merge_phase_smoke", manifest)
+    save_result(
+        "merge_phase_smoke",
+        "\n".join([
+            "Merge-phase smoke: heap reference vs fast engine (workers 1/2)",
+            f"n={n}  theta={THETA}  k={SMOKE_N_CLUSTERS}  "
+            "identical clusters+merges: yes",
+            "",
+            *format_rows(n, rows),
+            "",
+            machine_summary(),
+        ]),
+    )
+
+
+@pytest.mark.slow
+def test_merge_phase_curve(benchmark, save_result, save_manifest):
+    tracer = Tracer()
+    curve = []
+    for n_clusters in CURVE_N_CLUSTERS[:-1]:
+        n, links = build_links(n_clusters)
+        rows = run_engines(links, k=n_clusters, tracer=tracer)
+        assert_engines_identical(rows)
+        curve.append((n, rows))
+
+    holder = {}
+
+    def largest():
+        n, links = build_links(CURVE_N_CLUSTERS[-1])
+        rows = run_engines(links, k=CURVE_N_CLUSTERS[-1], tracer=tracer)
+        holder["cell"] = (n, rows)
+
+    benchmark.pedantic(largest, rounds=1, iterations=1)
+    n, rows = holder["cell"]
+    assert_engines_identical(rows)
+    curve.append((n, rows))
+
+    # the acceptance bar: single-core algorithmic win at the largest n
+    heap_s, _ = rows["heap"]
+    fast_s, _ = rows["fast"]
+    assert heap_s >= SPEEDUP_FLOOR * fast_s, (
+        f"fast engine {heap_s / fast_s:.2f}x at n={n}, "
+        f"need >= {SPEEDUP_FLOOR}x"
+    )
+
+    lines = [
+        "Merge-phase curve: cluster-phase seconds, shared link tables",
+        f"theta={THETA}, k=n/24 (one per planted cluster); all engines "
+        "byte-identical",
+        "",
+        f"{'n':>7} {'heap_s':>8} {'fast_s':>8} {'fast_w2_s':>10} "
+        f"{'speedup':>8}",
+    ]
+    for size, cell in curve:
+        heap_seconds = cell["heap"][0]
+        fast_seconds = cell["fast"][0]
+        lines.append(
+            f"{size:>7} {heap_seconds:>8.3f} {fast_seconds:>8.3f} "
+            f"{cell['fast_w2'][0]:>10.3f} "
+            f"{heap_seconds / max(fast_seconds, 1e-9):>7.2f}x"
+        )
+    lines += ["", machine_summary()]
+    save_result("merge_phase", "\n".join(lines))
+    manifest = RunManifest.from_tracer(
+        "bench_merge_phase", tracer,
+        config={"theta": THETA, "sizes": [size for size, _ in curve],
+                "speedup_floor": SPEEDUP_FLOOR},
+    )
+    save_manifest("merge_phase", manifest)

@@ -29,6 +29,7 @@ from repro.baselines.hierarchical import (
     centroid_update,
 )
 from repro.core.encoding import dataset_to_boolean_matrix
+from repro.core.labeling import labels_from_clusters
 from repro.data.records import CategoricalDataset
 from repro.data.transactions import TransactionDataset
 
@@ -47,11 +48,7 @@ class CentroidResult:
     n_points: int = 0
 
     def labels(self) -> np.ndarray:
-        labels = np.full(self.n_points, -1, dtype=np.int64)
-        for c, members in enumerate(self.clusters):
-            for p in members:
-                labels[p] = c
-        return labels
+        return labels_from_clusters(self.clusters, self.n_points)
 
     def sizes(self) -> list[int]:
         return [len(c) for c in self.clusters]

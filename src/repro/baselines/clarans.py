@@ -23,6 +23,7 @@ from typing import Any
 import numpy as np
 
 from repro.baselines.mst import similarity_matrix
+from repro.core.labeling import labels_from_clusters
 from repro.core.similarity import SimilarityFunction
 
 
@@ -36,11 +37,7 @@ class ClaransResult:
     n_points: int = 0
 
     def labels(self) -> np.ndarray:
-        labels = np.full(self.n_points, -1, dtype=np.int64)
-        for c, members in enumerate(self.clusters):
-            for p in members:
-                labels[p] = c
-        return labels
+        return labels_from_clusters(self.clusters, self.n_points)
 
 
 def clarans_cluster(

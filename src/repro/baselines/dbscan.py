@@ -24,6 +24,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.labeling import labels_from_clusters
 from repro.core.neighbors import NeighborGraph, compute_neighbor_graph
 from repro.core.similarity import SimilarityFunction
 
@@ -38,11 +39,7 @@ class DbscanResult:
     n_points: int = 0
 
     def labels(self) -> np.ndarray:
-        labels = np.full(self.n_points, -1, dtype=np.int64)
-        for c, members in enumerate(self.clusters):
-            for p in members:
-                labels[p] = c
-        return labels
+        return labels_from_clusters(self.clusters, self.n_points)
 
 
 def dbscan_graph(graph: NeighborGraph, min_points: int = 3) -> DbscanResult:

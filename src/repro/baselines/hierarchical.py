@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.labeling import labels_from_clusters
+
 # update(d_ux, d_vx, d_uv, n_u, n_v, n_x) -> d_wx  (vectorised over x)
 UpdateRule = Callable[
     [np.ndarray, np.ndarray, float, int, int, np.ndarray], np.ndarray
@@ -44,11 +46,7 @@ class HierarchicalResult:
     n_points: int = 0
 
     def labels(self) -> np.ndarray:
-        labels = np.full(self.n_points, -1, dtype=np.int64)
-        for c, members in enumerate(self.clusters):
-            for p in members:
-                labels[p] = c
-        return labels
+        return labels_from_clusters(self.clusters, self.n_points)
 
     def sizes(self) -> list[int]:
         return [len(c) for c in self.clusters]

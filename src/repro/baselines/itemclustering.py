@@ -29,6 +29,7 @@ from typing import Hashable
 import numpy as np
 
 from repro.baselines.apriori import frequent_itemsets, rule_confidences
+from repro.core.labeling import labels_from_clusters
 from repro.data.transactions import Transaction, TransactionDataset
 
 
@@ -50,11 +51,7 @@ class ItemClusteringResult:
     n_points: int = 0
 
     def labels(self) -> np.ndarray:
-        labels = np.full(self.n_points, -1, dtype=np.int64)
-        for c, members in enumerate(self.clusters):
-            for p in members:
-                labels[p] = c
-        return labels
+        return labels_from_clusters(self.clusters, self.n_points)
 
 
 def build_hyperedges(

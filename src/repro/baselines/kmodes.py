@@ -22,6 +22,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.labeling import labels_from_clusters
 from repro.data.records import MISSING, CategoricalDataset
 
 
@@ -37,11 +38,7 @@ class KModesResult:
     history: list[float] = field(default_factory=list)
 
     def labels(self) -> np.ndarray:
-        labels = np.full(self.n_points, -1, dtype=np.int64)
-        for c, members in enumerate(self.clusters):
-            for p in members:
-                labels[p] = c
-        return labels
+        return labels_from_clusters(self.clusters, self.n_points)
 
 
 def matching_dissimilarity(a: tuple, b: tuple) -> int:

@@ -34,6 +34,7 @@ from repro.core.labeling import (
     LabelingIndex,
     compute_normalisers,
     draw_labeling_sets,
+    labels_from_clusters,
 )
 from repro.core.links import (
     LinkTable,
@@ -42,6 +43,11 @@ from repro.core.links import (
     path_link_matrix,
     sparse_link_table,
     weighted_link_matrix,
+)
+from repro.core.merge import (
+    MERGE_METHODS,
+    fast_cluster_with_links,
+    resolve_merge_method,
 )
 from repro.core.neighbors import (
     DEFAULT_MEMORY_BUDGET,
@@ -110,6 +116,7 @@ __all__ = [
     "SimilarityTable",
     "DEFAULT_MEMORY_BUDGET",
     "FIT_MODES",
+    "MERGE_METHODS",
     "attribute_item",
     "blocked_neighbor_graph",
     "resolve_fit_mode",
@@ -125,7 +132,10 @@ __all__ = [
     "draw_labeling_sets",
     "expected_cross_links",
     "expected_intra_links",
+    "fast_cluster_with_links",
     "goodness",
+    "labels_from_clusters",
+    "resolve_merge_method",
     "naive_goodness",
     "path_link_matrix",
     "prune_sparse_points",

@@ -80,8 +80,11 @@ def connected_components(graph: NeighborGraph) -> list[list[int]]:
     """Connected components of a neighbor graph, largest first."""
     uf = UnionFind(graph.n)
     if graph.has_dense:
-        rows, cols = np.nonzero(np.triu(graph.adjacency, k=1))
-        for a, b in zip(rows.tolist(), cols.tolist()):
+        # nonzero + mask instead of np.triu: triu materialises a second
+        # n x n matrix just to drop the lower half
+        rows, cols = np.nonzero(graph.adjacency)
+        upper = rows < cols
+        for a, b in zip(rows[upper].tolist(), cols[upper].tolist()):
             uf.union(a, b)
     else:
         # sparse-backed graph (blocked path): walk the neighbor lists

@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Sequence
 
+import numpy as np
+
 from repro.core.links import LinkTable
 
 FThetaFunction = Callable[[float], float]
@@ -104,6 +106,197 @@ def naive_goodness(cross_links: int, ni: int, nj: int, f_theta: float) -> float:
     if ni < 1 or nj < 1:
         raise ValueError("clusters must be non-empty")
     return float(cross_links)
+
+
+class PowerTable:
+    """Memoized ``n^(1 + 2 f(theta))`` over integer cluster sizes.
+
+    Cluster sizes in the merge loop are small integers bounded by the
+    point count, while ``pow()`` dominates its profile (two calls per
+    goodness evaluation).  Entries are produced by the same scalar
+    CPython ``float(n) ** exponent`` expression as
+    :func:`expected_intra_links`, so every lookup is bitwise identical
+    to the reference's on-the-fly computation -- a requirement for the
+    fast merge engine's byte-for-byte equivalence guarantee (``np.power``
+    may differ in the last ulp and is deliberately avoided).
+    """
+
+    def __init__(self, f_theta: float, n_max: int = 0) -> None:
+        self.f_theta = f_theta
+        self.exponent = 1.0 + 2.0 * f_theta
+        self._values: list[float] = []
+        self._array = np.empty(0, dtype=np.float64)
+        self.ensure(n_max)
+
+    def ensure(self, n_max: int) -> "PowerTable":
+        """Grow the table to cover sizes ``0..n_max``; returns self."""
+        if n_max + 1 > len(self._values):
+            start = len(self._values)
+            self._values.extend(
+                float(i) ** self.exponent for i in range(start, n_max + 1)
+            )
+            self._array = np.array(self._values, dtype=np.float64)
+        return self
+
+    def array(self) -> np.ndarray:
+        """The memoized values as a read-only-by-convention float64 array."""
+        return self._array
+
+    def __getitem__(self, n: int) -> float:
+        return self._values[n]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class NormalizedGoodnessKernel:
+    """Vectorized :func:`goodness` backed by a :class:`PowerTable`.
+
+    ``vector`` evaluates the Section 4.2 measure for many candidate
+    pairs at once; ``scalar`` is the table-backed single-pair form.
+    Both reproduce :func:`goodness` bitwise: the sizes are ordered
+    ``lo <= hi`` first (matching the reference's argument swap), the
+    denominator keeps the reference's association
+    ``(P[lo+hi] - P[lo]) - P[hi]``, and a non-positive denominator
+    degrades to ``+inf`` for linked pairs and ``0`` otherwise.
+    """
+
+    name = "normalized"
+
+    def __init__(self, f_theta: float, n_max: int = 0) -> None:
+        self.f_theta = f_theta
+        self.table = PowerTable(f_theta, n_max)
+
+    def scalar(self, count: float, ni: int, nj: int) -> float:
+        if ni > nj:
+            ni, nj = nj, ni
+        table = self.table.ensure(ni + nj)._values
+        denominator = (table[ni + nj] - table[ni]) - table[nj]
+        if denominator <= 0.0:
+            return math.inf if count > 0 else 0.0
+        return count / denominator
+
+    def bind(self, n_max: int) -> Callable[[float, int, int], float]:
+        """A closure over the pre-grown table for the merge hot loop.
+
+        Bitwise equal to :meth:`scalar`; skips the per-call ``ensure``
+        bookkeeping, which dominates at merge-loop call rates.
+        """
+        table = self.table.ensure(2 * n_max)._values
+        inf = math.inf
+
+        def bound(count: float, ni: int, nj: int) -> float:
+            if ni > nj:
+                ni, nj = nj, ni
+            denominator = (table[ni + nj] - table[ni]) - table[nj]
+            if denominator <= 0.0:
+                return inf if count > 0 else 0.0
+            return count / denominator
+
+        return bound
+
+    def vector(self, counts: np.ndarray, ni, nj) -> np.ndarray:
+        counts = np.asarray(counts, dtype=np.float64)
+        lo = np.minimum(ni, nj)
+        hi = np.maximum(ni, nj)
+        table = self.table.ensure(int(np.max(lo + hi, initial=0))).array()
+        denominator = (table[lo + hi] - table[lo]) - table[hi]
+        positive = denominator > 0.0
+        out = np.where(counts > 0, np.inf, 0.0)
+        if out.ndim == 0:  # scalar broadcast: keep the array contract
+            out = np.full(np.shape(denominator), float(out))
+        np.divide(counts, denominator, out=out, where=positive)
+        return out
+
+
+class NaiveGoodnessKernel:
+    """Vectorized :func:`naive_goodness`: the raw cross-link count."""
+
+    name = "naive"
+
+    def __init__(self, f_theta: float = 0.0, n_max: int = 0) -> None:
+        self.f_theta = f_theta
+
+    def scalar(self, count: float, ni: int, nj: int) -> float:
+        return float(count)
+
+    def bind(self, n_max: int) -> Callable[[float, int, int], float]:
+        return lambda count, ni, nj: float(count)
+
+    def vector(self, counts: np.ndarray, ni, nj) -> np.ndarray:
+        return np.asarray(counts, dtype=np.float64).copy()
+
+
+class CallableGoodnessKernel:
+    """Adapter running an arbitrary goodness callable pair-by-pair.
+
+    Used only when ``merge_method="fast"`` is *forced* with a custom
+    goodness function; ``"auto"`` keeps custom callables on the heap
+    reference loop.  The callable must be symmetric in ``(ni, nj)`` --
+    the fast engine evaluates each pair once, while the reference loop
+    evaluates both orientations (built-in measures are bitwise
+    symmetric, so they are unaffected).
+    """
+
+    name = "callable"
+
+    def __init__(self, fn: Callable[[float, int, int, float], float], f_theta: float) -> None:
+        self.fn = fn
+        self.f_theta = f_theta
+
+    def scalar(self, count: float, ni: int, nj: int) -> float:
+        return self.fn(count, int(ni), int(nj), self.f_theta)
+
+    def bind(self, n_max: int) -> Callable[[float, int, int], float]:
+        fn, f_theta = self.fn, self.f_theta
+        return lambda count, ni, nj: fn(count, int(ni), int(nj), f_theta)
+
+    def vector(self, counts: np.ndarray, ni, nj) -> np.ndarray:
+        counts = np.asarray(counts, dtype=np.float64)
+        ni_b = np.broadcast_to(np.asarray(ni), counts.shape)
+        nj_b = np.broadcast_to(np.asarray(nj), counts.shape)
+        fn, f_theta = self.fn, self.f_theta
+        return np.array(
+            [
+                fn(c, a, b, f_theta)
+                for c, a, b in zip(
+                    counts.tolist(), ni_b.tolist(), nj_b.tolist()
+                )
+            ],
+            dtype=np.float64,
+        )
+
+
+# picklable kernel registry: workers rebuild kernels from these names
+MERGE_KERNELS = {
+    "normalized": NormalizedGoodnessKernel,
+    "naive": NaiveGoodnessKernel,
+}
+
+
+def merge_kernel_for(
+    goodness_fn: Callable[..., float], f_theta: float, n_max: int = 0
+):
+    """The vectorized kernel matching a goodness callable, or ``None``.
+
+    ``None`` signals an unrecognised (custom) callable: ``auto`` merge
+    dispatch then stays on the reference heap loop, and a forced fast
+    run falls back to :class:`CallableGoodnessKernel`.
+    """
+    if goodness_fn is goodness:
+        return NormalizedGoodnessKernel(f_theta, n_max)
+    if goodness_fn is naive_goodness:
+        return NaiveGoodnessKernel(f_theta, n_max)
+    return None
+
+
+def merge_kernel_by_name(name: str, f_theta: float, n_max: int = 0):
+    """Rebuild a named built-in kernel (the worker-side constructor)."""
+    try:
+        kernel_cls = MERGE_KERNELS[name]
+    except KeyError:
+        raise ValueError(f"unknown merge kernel {name!r}") from None
+    return kernel_cls(f_theta, n_max)
 
 
 def intra_cluster_links(cluster: Sequence[int], links: LinkTable) -> int:

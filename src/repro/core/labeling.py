@@ -31,6 +31,24 @@ from repro.core.goodness import default_f
 from repro.core.similarity import JaccardSimilarity, SimilarityFunction
 
 
+def labels_from_clusters(
+    clusters: Sequence[Sequence[int]], n: int
+) -> np.ndarray:
+    """Per-point cluster index from a cluster list; ``-1`` = unassigned.
+
+    ``labels[p] = c`` for every ``p`` in ``clusters[c]``, vectorised
+    with one fancy-indexed assignment per cluster.  The shared
+    implementation behind every ``labels()``/``labels`` accessor
+    (``RockResult``, the pipeline, the baseline clusterers), replacing
+    nine copy-pasted per-point loops.
+    """
+    labels = np.full(n, -1, dtype=np.int64)
+    for c, members in enumerate(clusters):
+        if len(members):
+            labels[np.asarray(members, dtype=np.int64)] = c
+    return labels
+
+
 def compute_normalisers(
     labeling_sets: Sequence[Sequence[Any]], f_theta: float
 ) -> np.ndarray:

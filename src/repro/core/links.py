@@ -73,6 +73,27 @@ class LinkTable:
         """Number of unordered pairs with a positive link count."""
         return sum(len(row) for row in self._rows) // 2
 
+    def pair_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Every linked pair as ``(i, j, counts)`` arrays with ``i < j``.
+
+        Pairs appear in the same order :meth:`pairs` yields them (row
+        by row); one O(pairs) pass, no ``n x n`` intermediate.  The
+        vectorized entry point for the fast merge engine.
+        """
+        total = self.nnz_pairs()
+        i_arr = np.empty(total, dtype=np.int64)
+        j_arr = np.empty(total, dtype=np.int64)
+        counts = np.empty(total, dtype=np.float64)
+        pos = 0
+        for i, row in enumerate(self._rows):
+            for j, count in row.items():
+                if i < j:
+                    i_arr[pos] = i
+                    j_arr[pos] = j
+                    counts[pos] = count
+                    pos += 1
+        return i_arr, j_arr, counts
+
     def to_dense(self) -> np.ndarray:
         integral = all(
             float(count).is_integer() for _, _, count in self.pairs()

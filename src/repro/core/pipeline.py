@@ -20,7 +20,12 @@ from typing import Any
 import numpy as np
 
 from repro.core.goodness import default_f, goodness as normalized_goodness
-from repro.core.labeling import ClusterLabeler, draw_labeling_sets
+from repro.core.labeling import (
+    ClusterLabeler,
+    draw_labeling_sets,
+    labels_from_clusters,
+)
+from repro.core.merge import MERGE_METHODS
 from repro.core.links import compute_links
 from repro.core.neighbors import NeighborGraph, compute_neighbor_graph
 from repro.core.outliers import prune_sparse_points, weed_small_clusters, weeding_stop_count
@@ -147,8 +152,16 @@ class RockPipeline:
         exact subset shortcut no longer applies.  All modes produce
         identical results (property-tested).
     workers:
-        Process count for the parallel/fused kernels: an int,
-        ``"auto"`` (CPU count capped at 8), or ``None`` for serial.
+        Process count for the parallel/fused kernels and the fast
+        merge engine's component fan-out: an int, ``"auto"`` (CPU
+        count capped at 8), or ``None`` for serial.
+    merge_method:
+        Engine for the Figure 3 merge phase: ``"heap"`` (the reference
+        loop), ``"fast"`` (the component-partitioned array-backed
+        engine of :mod:`repro.core.merge`), or ``"auto"`` (default:
+        fast for built-in goodness measures, heap for custom
+        callables).  Byte-identical results either way
+        (property-tested).
     seed:
         Seed for sampling and labeling-set draws; runs are fully
         deterministic for a fixed seed.
@@ -171,6 +184,7 @@ class RockPipeline:
         memory_budget: int | None = None,
         fit_mode: str = "auto",
         workers: int | str | None = None,
+        merge_method: str = "auto",
         seed: int | None = None,
     ) -> None:
         if k < 1:
@@ -182,6 +196,11 @@ class RockPipeline:
         if fit_mode not in FIT_MODES:
             raise ValueError(
                 f"fit_mode must be one of {FIT_MODES}, got {fit_mode!r}"
+            )
+        if merge_method not in MERGE_METHODS:
+            raise ValueError(
+                f"merge_method must be one of {MERGE_METHODS}, "
+                f"got {merge_method!r}"
             )
         self.k = k
         self.theta = theta
@@ -198,6 +217,7 @@ class RockPipeline:
         self.memory_budget = memory_budget
         self.fit_mode = fit_mode
         self.workers = workers
+        self.merge_method = merge_method
         self.seed = seed
 
     def fit(
@@ -238,6 +258,7 @@ class RockPipeline:
             k=self.k,
             theta=self.theta,
             workers=workers,
+            merge_method=self.merge_method,
         ):
             return self._fit_phases(
                 points, n_total, label_remaining, rng, tracer
@@ -337,13 +358,17 @@ class RockPipeline:
             timings["links"] = span.wall_seconds
 
         # -- 4. cluster (with optional pause-and-weed) ----------------------
-        with tracer.span("cluster", k=self.k) as span:
+        with tracer.span(
+            "cluster", k=self.k, merge_method=self.merge_method
+        ) as span:
             f_theta = self.f(self.theta)
             if self.min_cluster_size is not None:
                 pause_at = weeding_stop_count(self.k, self.outlier_multiple)
                 first = cluster_with_links(
                     links, k=pause_at, f_theta=f_theta,
                     goodness_fn=self.goodness_fn,
+                    merge_method=self.merge_method, workers=self.workers,
+                    registry=registry,
                 )
                 survivors, weeded = weed_small_clusters(
                     first.clusters, self.min_cluster_size
@@ -360,11 +385,15 @@ class RockPipeline:
                     f_theta=f_theta,
                     initial_clusters=survivors,
                     goodness_fn=self.goodness_fn,
+                    merge_method=self.merge_method, workers=self.workers,
+                    registry=registry,
                 )
             else:
                 result = cluster_with_links(
                     links, k=self.k, f_theta=f_theta,
                     goodness_fn=self.goodness_fn,
+                    merge_method=self.merge_method, workers=self.workers,
+                    registry=registry,
                 )
             registry.inc("fit.cluster.merges", len(result.merges))
         timings["cluster"] = span.wall_seconds
@@ -380,10 +409,7 @@ class RockPipeline:
         # -- 5. label remaining data ----------------------------------------
         labeled = label_remaining and len(sampled) < n_total
         with tracer.span("label", enabled=labeled) as span:
-            labels = np.full(n_total, -1, dtype=np.int64)
-            for c, cluster in enumerate(clusters_original):
-                for original in cluster:
-                    labels[original] = c
+            labels = labels_from_clusters(clusters_original, n_total)
             labeling_sets: list[list[Any]] | None = None
             if labeled:
                 point_list = _as_list(points)

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.goodness import default_f, goodness as normalized_goodness
 from repro.core.heaps import AddressableMaxHeap
+from repro.core.labeling import labels_from_clusters
 from repro.core.links import LinkTable, compute_links
 from repro.core.neighbors import compute_neighbor_graph
 from repro.core.similarity import SimilarityFunction
@@ -76,11 +77,7 @@ class RockResult:
 
     def labels(self) -> np.ndarray:
         """Per-point cluster index (aligned with ``clusters`` order)."""
-        labels = np.full(self.n_points, -1, dtype=np.int64)
-        for c, members in enumerate(self.clusters):
-            for p in members:
-                labels[p] = c
-        return labels
+        return labels_from_clusters(self.clusters, self.n_points)
 
     def sizes(self) -> list[int]:
         return [len(c) for c in self.clusters]
@@ -98,6 +95,9 @@ def cluster_with_links(
     f_theta: float,
     initial_clusters: Sequence[Sequence[int]] | None = None,
     goodness_fn: GoodnessFunction = normalized_goodness,
+    merge_method: str = "auto",
+    workers: int | str | None = None,
+    registry: Any | None = None,
 ) -> RockResult:
     """Run the Figure 3 merge loop over a precomputed link table.
 
@@ -118,9 +118,34 @@ def cluster_with_links(
         points disjointly; uncovered points are simply not clustered.
     goodness_fn:
         Merge-goodness strategy, ``(cross_links, ni, nj, f_theta) -> float``.
+    merge_method:
+        ``"heap"`` runs this module's Figure 3 reference loop;
+        ``"fast"`` the component-partitioned array-backed engine of
+        :mod:`repro.core.merge` (byte-identical results); ``"auto"``
+        (default) picks fast for the built-in goodness measures and
+        the reference loop for custom callables.
+    workers:
+        Process count for the fast engine's per-component fan-out
+        (int, ``"auto"``, or ``None`` for serial).  The heap reference
+        loop is always serial.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` receiving
+        ``fit.cluster.*`` counters from the fast engine.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
+    from repro.core.merge import fast_cluster_with_links, resolve_merge_method
+
+    if resolve_merge_method(merge_method, goodness_fn) == "fast":
+        return fast_cluster_with_links(
+            links,
+            k=k,
+            f_theta=f_theta,
+            initial_clusters=initial_clusters,
+            goodness_fn=goodness_fn,
+            workers=workers,
+            registry=registry,
+        )
     n = links.n
     if initial_clusters is None:
         cluster_list: list[list[int]] = [[i] for i in range(n)]
@@ -239,6 +264,7 @@ def rock(
     memory_budget: int | None = None,
     fit_mode: str = "auto",
     workers: int | str | None = None,
+    merge_method: str = "auto",
     tracer: "Tracer | None" = None,
 ) -> RockResult:
     """Convenience end-to-end run on in-memory points (no sampling/labeling).
@@ -265,6 +291,13 @@ def rock(
     and fused kernels.  Every mode yields identical clusters.  For the
     full sample -> prune -> cluster -> weed -> label pipeline of
     Figure 2, use :class:`repro.core.pipeline.RockPipeline`.
+
+    ``merge_method`` is the analogous switch over the merge phase:
+    ``"heap"`` forces the Figure 3 reference loop, ``"fast"`` the
+    component-partitioned engine of :mod:`repro.core.merge`, and
+    ``"auto"`` (default) picks fast whenever the goodness measure is a
+    built-in.  Both produce byte-identical results; the fast engine
+    additionally fans components out across ``workers``.
 
     ``tracer`` is an optional :class:`~repro.obs.trace.Tracer`:
     ``neighbors`` / ``links`` / ``cluster`` spans are recorded and the
@@ -320,9 +353,10 @@ def rock(
             links = compute_links(
                 graph, method=link_method, workers=workers, registry=registry
             )
-    with tracer.span("cluster", k=k):
+    with tracer.span("cluster", k=k, merge_method=merge_method):
         result = cluster_with_links(
-            links, k=k, f_theta=f(theta), goodness_fn=goodness_fn
+            links, k=k, f_theta=f(theta), goodness_fn=goodness_fn,
+            merge_method=merge_method, workers=workers, registry=registry,
         )
         registry.inc("fit.cluster.merges", len(result.merges))
     return result

@@ -61,6 +61,7 @@ class RockClusterer:
         min_cluster_size: int | None = None,
         outlier_multiple: float = 3.0,
         labeling_fraction: float = 0.25,
+        merge_method: str = "auto",
         random_state: int | None = None,
     ) -> None:
         self.n_clusters = n_clusters
@@ -72,6 +73,7 @@ class RockClusterer:
         self.min_cluster_size = min_cluster_size
         self.outlier_multiple = outlier_multiple
         self.labeling_fraction = labeling_fraction
+        self.merge_method = merge_method
         self.random_state = random_state
 
     # -- sklearn protocol ---------------------------------------------------
@@ -86,6 +88,7 @@ class RockClusterer:
             "min_cluster_size": self.min_cluster_size,
             "outlier_multiple": self.outlier_multiple,
             "labeling_fraction": self.labeling_fraction,
+            "merge_method": self.merge_method,
             "random_state": self.random_state,
         }
 
@@ -113,6 +116,7 @@ class RockClusterer:
             min_cluster_size=self.min_cluster_size,
             outlier_multiple=self.outlier_multiple,
             labeling_fraction=self.labeling_fraction,
+            merge_method=self.merge_method,
             seed=self.random_state,
         )
         result = pipeline.fit(points)

@@ -217,6 +217,7 @@ def model_from_result(
         "n_unassigned": int((result.labels == -1).sum()),
         "uses_default_f": pipeline.f is default_f,
         "fit_mode": getattr(pipeline, "fit_mode", "auto"),
+        "merge_method": getattr(pipeline, "merge_method", "auto"),
         "workers": getattr(pipeline, "workers", None),
         # per-phase wall-clock of the producing run; previously this
         # died with the PipelineResult and tools downstream could only
