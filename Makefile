@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast lint bench bench-smoke bench-serve example-serve
+.PHONY: test test-fast lint bench bench-smoke bench-serve bench-serve-http example-serve example-serve-http
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -17,17 +17,29 @@ bench:
 
 # tiny-n proofs that the blocked and parallel (workers=2) fit paths
 # work and equal the dense path, that the fast merge engine matches
-# the reference loop byte for byte, and that a traced fit leaves a
-# complete RunManifest -- fast enough for CI
+# the reference loop byte for byte, that a traced fit leaves a
+# complete RunManifest, and that the HTTP server answers + coalesces
+# under concurrent load -- fast enough for CI
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/bench_blocked_fit.py benchmarks/bench_parallel_fit.py \
 		benchmarks/bench_merge_phase.py benchmarks/bench_trace_fit.py \
+		benchmarks/bench_serve_http.py \
 		-k smoke --benchmark-disable -s
 
 bench-serve:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/bench_serve_throughput.py --benchmark-disable -s
 
+# the full load comparison: coalescing vs batch_max=1 at several
+# concurrency levels (not CI -- throughput assertions want quiet iron)
+bench-serve-http:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_serve_http.py::test_serve_http_load \
+		--benchmark-disable -s
+
 example-serve:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/serve_assign.py
+
+example-serve-http:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/serve_http.py

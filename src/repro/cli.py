@@ -11,7 +11,10 @@ The subcommands cover the end-to-end workflow from the paper:
 * ``fit-model`` / ``assign`` -- the fit-once / serve-many split of
   Section 4.6: fit on a (sampled) file and persist a JSON
   :class:`~repro.serve.RockModel`, then label any other file against
-  the saved model without re-clustering.
+  the saved model without re-clustering;
+* ``serve`` -- stand the saved model up as a long-running HTTP
+  service (batched ``/assign``, hot reload on artifact change,
+  Prometheus ``/metrics``).
 
 Examples::
 
@@ -267,6 +270,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the serving metrics snapshot after assignment",
     )
     _add_obs_args(assign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a saved RockModel over HTTP (batched /assign, hot "
+        "reload, Prometheus /metrics)",
+    )
+    serve.add_argument("--model", required=True, type=Path)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8000,
+        help="TCP port; 0 picks an ephemeral port (printed on start)",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=64,
+        help="flush coalesced /assign requests at this batch size",
+    )
+    serve.add_argument(
+        "--batch-wait-us", type=int, default=2000,
+        help="flush once the oldest queued point is this old (microseconds)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=1024,
+        help="pending-point bound before requests are shed with 503",
+    )
+    serve.add_argument("--cache-size", type=int, default=4096)
+    serve.add_argument(
+        "--poll-seconds", type=float, default=1.0,
+        help="how often to poll the model artifact for hot reload",
+    )
+    serve.add_argument(
+        "--shutdown-after", type=float, default=None,
+        help="gracefully stop after this many seconds (smoke tests / demos)",
+    )
+    _add_obs_args(serve)
     return parser
 
 
@@ -592,6 +629,84 @@ def cmd_assign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.obs import Tracer
+    from repro.serve.http import RockHttpServer
+
+    if not args.model.is_file():
+        raise SystemExit(f"model artifact not found: {args.model}")
+    tracer = Tracer()
+    server = RockHttpServer(
+        args.model,
+        host=args.host,
+        port=args.port,
+        batch_max=args.batch_max,
+        batch_wait_us=args.batch_wait_us,
+        queue_depth=args.queue_depth,
+        cache_size=args.cache_size,
+        poll_seconds=args.poll_seconds,
+        tracer=tracer,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        host, port = server.address
+        served = server.watcher.current
+        print(
+            f"serving {args.model} (version {served.version}, "
+            f"{served.model.n_clusters} clusters) on http://{host}:{port}",
+            flush=True,
+        )
+        print(
+            f"batching: max {args.batch_max} points / "
+            f"{args.batch_wait_us} us wait; queue depth {args.queue_depth}; "
+            f"reload poll every {args.poll_seconds:g}s",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                # non-POSIX loops, or running off the main thread
+                # (embedded / under tests) -- rely on --shutdown-after
+                pass
+        if args.shutdown_after is not None:
+            loop.call_later(args.shutdown_after, stop.set)
+        await stop.wait()
+        print("shutting down: draining in-flight requests", flush=True)
+        await server.shutdown()
+
+    asyncio.run(_main())
+    counters = tracer.registry.snapshot()["counters"]
+    served_requests = sum(
+        int(v) for name, v in counters.items()
+        if name.startswith("http.requests.")
+    )
+    print(
+        f"served {served_requests} requests "
+        f"({int(counters.get('serve.points', 0))} points, "
+        f"{int(counters.get('http.reload.count', 0))} reloads)"
+    )
+    _emit_observability(
+        args, "serve", tracer,
+        config={
+            "model": str(args.model),
+            "host": args.host,
+            "port": args.port,
+            "batch_max": args.batch_max,
+            "batch_wait_us": args.batch_wait_us,
+            "queue_depth": args.queue_depth,
+            "poll_seconds": args.poll_seconds,
+        },
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
@@ -606,6 +721,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_fit_model(args)
     if args.command == "assign":
         return cmd_assign(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     return cmd_evaluate(args)
 
 

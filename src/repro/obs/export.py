@@ -83,29 +83,43 @@ def spans_to_jsonl(span_dicts: list[dict[str, Any]]) -> str:
 
 
 def metrics_to_prometheus(snapshot: dict[str, Any], prefix: str = "rock") -> str:
-    """Render a registry snapshot in Prometheus text exposition format."""
-    out: list[str] = []
-    seen: set[str] = set()
+    """Render a registry snapshot in Prometheus text exposition format.
 
-    def _family(name: str, kind: str, source: str) -> bool:
-        if name in seen:
+    Family *and* sample names are deduplicated: within one rendering,
+    a metric family is emitted at most once, and a family whose sample
+    names would collide with already-emitted samples (e.g. a gauge
+    named ``foo_sum`` next to a histogram ``foo``, or two dotted names
+    that sanitise identically) is skipped entirely rather than
+    producing a malformed exposition.  First writer wins, in snapshot
+    order (counters, then gauges, then histograms) -- combined
+    snapshots such as a serving process's engine + server registry
+    always render well-formed.
+    """
+    out: list[str] = []
+    seen_families: set[str] = set()
+    seen_samples: set[str] = set()
+
+    def _family(name: str, kind: str, source: str, samples: list[str]) -> bool:
+        if name in seen_families or any(s in seen_samples for s in samples):
             return False
-        seen.add(name)
+        seen_families.add(name)
+        seen_samples.update(samples)
         out.append(f"# HELP {name} {source}")
         out.append(f"# TYPE {name} {kind}")
         return True
 
     for name, value in snapshot.get("counters", {}).items():
         metric = prometheus_name(name, prefix) + "_total"
-        if _family(metric, "counter", name):
+        if _family(metric, "counter", name, [metric]):
             out.append(f"{metric} {_fmt_value(value)}")
     for name, value in snapshot.get("gauges", {}).items():
         metric = prometheus_name(name, prefix)
-        if _family(metric, "gauge", name):
+        if _family(metric, "gauge", name, [metric]):
             out.append(f"{metric} {_fmt_value(value)}")
     for name, hist in snapshot.get("histograms", {}).items():
         metric = prometheus_name(name, prefix)
-        if not _family(metric, "histogram", name):
+        samples = [f"{metric}_bucket", f"{metric}_sum", f"{metric}_count"]
+        if not _family(metric, "histogram", name, samples):
             continue
         edges = hist.get("edges", [])
         bucket_counts = hist.get("bucket_counts", [])

@@ -136,6 +136,16 @@ class Tracer:
             span.rss_delta_bytes = max(peak_rss_bytes() - rss0, 0)
             stack.pop()
 
+    def attach_root(self, span: Span) -> None:
+        """Attach an externally-managed span as a new root.
+
+        For long-lived owners (e.g. the HTTP server) whose root span
+        outlives any lexical ``with`` block: the owner appends children
+        and fills the timing fields itself.
+        """
+        with self._lock:
+            self._roots.append(span)
+
     def spans(self) -> list[Span]:
         """The root spans recorded so far (live objects, not copies)."""
         with self._lock:

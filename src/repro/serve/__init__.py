@@ -16,7 +16,10 @@ assignment.  This package is that second phase, productionised:
 * :class:`~repro.serve.metrics.ServeMetrics` -- counters / histograms
   behind one ``snapshot()`` dict;
 * :class:`~repro.serve.service.ClusteringService` -- the facade tying
-  it all together (what ``repro assign`` uses).
+  it all together (what ``repro assign`` uses);
+* :mod:`repro.serve.http` -- the async network front-end
+  (``repro serve``): request batching, hot model reload,
+  backpressure, Prometheus ``/metrics``.
 
 Quickstart::
 

@@ -21,6 +21,7 @@ the equivalence is property-tested.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator, Sequence
@@ -69,6 +70,10 @@ class AssignmentEngine:
         self._index = self._labeler.index
         self._cache: OrderedDict[Any, int] = OrderedDict()
         self._cache_size = cache_size
+        # the async HTTP server shares one engine between the event
+        # loop's executor threads and direct assign_batch callers, so
+        # the LRU's read-reorder and eviction must be atomic
+        self._cache_lock = threading.Lock()
 
     @property
     def vectorized(self) -> bool:
@@ -179,13 +184,15 @@ class AssignmentEngine:
         return point
 
     def _cache_get(self, key: Any) -> int | None:
-        label = self._cache.get(key)
-        if label is not None:
-            self._cache.move_to_end(key)
-        return label
+        with self._cache_lock:
+            label = self._cache.get(key)
+            if label is not None:
+                self._cache.move_to_end(key)
+            return label
 
     def _cache_put(self, key: Any, label: int) -> None:
-        self._cache[key] = label
-        self._cache.move_to_end(key)
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[key] = label
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)

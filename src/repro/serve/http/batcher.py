@@ -1,0 +1,193 @@
+"""Request coalescing: many concurrent single-point requests, one matmul.
+
+:class:`~repro.serve.engine.AssignmentEngine.assign_batch` amortises
+its fixed per-call cost (executor hop, metrics, the matmul setup) over
+a whole batch, so a serving process wants concurrent ``POST /assign``
+requests to share engine calls.  :class:`RequestBatcher` is that
+coalescing point:
+
+* :meth:`submit` enqueues a point and returns a future for its result;
+  the queue is **bounded** -- a full queue raises :class:`QueueFull`,
+  which the server maps to ``503 Retry-After`` (backpressure instead
+  of unbounded memory growth);
+* one flusher task collects a batch and hands it to the ``flush``
+  coroutine, flushing when ``batch_max`` points are waiting **or** the
+  oldest waiting point has been queued for ``batch_wait_us``
+  microseconds, whichever comes first (so the wait bounds queueing
+  delay, measured from arrival, not from when the flusher looked);
+* while a flush is in flight new submissions pile up in the queue and
+  form the next batch -- under closed-loop load the batch size adapts
+  to the concurrency automatically.
+
+``batch_max=1`` degrades to one engine call per request (the
+no-batching baseline the benchmark compares against).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Awaitable, Callable, Sequence
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["BatcherClosed", "QueueFull", "RequestBatcher"]
+
+# upper edges for the coalesced-batch-size histogram
+BATCH_SIZE_EDGES = (1, 2, 4, 8, 16, 32, 64, 256)
+
+
+class QueueFull(RuntimeError):
+    """The bounded submission queue is at capacity -- shed load."""
+
+
+class BatcherClosed(RuntimeError):
+    """The batcher is draining or closed; no new work is accepted."""
+
+
+class RequestBatcher:
+    """Coalesce single-point submissions into batched flush calls.
+
+    Parameters
+    ----------
+    flush:
+        ``async (points) -> results`` -- called with 1..batch_max
+        points, must return one result per point, in order.  Raised
+        exceptions propagate to every future of the batch.
+    batch_max:
+        Flush as soon as this many points are waiting.
+    batch_wait_us:
+        Flush once the oldest waiting point is this old (microseconds),
+        even if the batch is not full.
+    queue_depth:
+        Bound on points admitted but not yet flushed; beyond it
+        :meth:`submit` raises :class:`QueueFull`.
+    registry:
+        Optional metrics sink; records ``http.batcher.flushes``,
+        ``http.batcher.rejected`` and the ``http.batcher.batch_size``
+        histogram.
+    """
+
+    def __init__(
+        self,
+        flush: Callable[[list[Any]], Awaitable[Sequence[Any]]],
+        batch_max: int = 64,
+        batch_wait_us: int = 2000,
+        queue_depth: int = 1024,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if batch_max < 1:
+            raise ValueError("batch_max must be positive")
+        if batch_wait_us < 0:
+            raise ValueError("batch_wait_us must be non-negative")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        self._flush = flush
+        self.batch_max = batch_max
+        self.batch_wait = batch_wait_us / 1e6
+        self.queue_depth = queue_depth
+        registry = registry if registry is not None else MetricsRegistry()
+        self._flushes = registry.counter("http.batcher.flushes")
+        self._rejected = registry.counter("http.batcher.rejected")
+        self._sizes = registry.histogram(
+            "http.batcher.batch_size", edges=BATCH_SIZE_EDGES
+        )
+        self._queue: asyncio.Queue[tuple[Any, asyncio.Future, float] | None] = (
+            asyncio.Queue()
+        )
+        self._pending = 0
+        self._closing = False
+        self._task: asyncio.Task | None = None
+
+    def start(self) -> None:
+        """Spawn the flusher task on the running loop (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    @property
+    def pending(self) -> int:
+        """Points admitted but not yet answered (queued or in flush)."""
+        return self._pending
+
+    def submit(self, point: Any) -> asyncio.Future:
+        """Enqueue one point; resolves to its flush result.
+
+        Raises :class:`QueueFull` when ``queue_depth`` points are
+        already pending, :class:`BatcherClosed` during shutdown.
+        """
+        if self._closing:
+            raise BatcherClosed("batcher is shutting down")
+        if self._pending >= self.queue_depth:
+            self._rejected.inc()
+            raise QueueFull(
+                f"assignment queue at capacity ({self.queue_depth} pending)"
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending += 1
+        self._queue.put_nowait((point, future, loop.time()))
+        return future
+
+    async def aclose(self) -> None:
+        """Stop accepting, flush everything already admitted, stop."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._task is not None:
+            self._queue.put_nowait(None)
+            await self._task
+            self._task = None
+
+    # -- flusher ------------------------------------------------------------
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is None:
+                return
+            batch = [first]
+            # the wait allowance counts from the first point's arrival:
+            # points that queued up during the previous flush have
+            # already served their wait and flush immediately
+            deadline = first[2] + self.batch_wait
+            stop = False
+            while len(batch) < self.batch_max:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    try:
+                        item = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                else:
+                    try:
+                        item = await asyncio.wait_for(
+                            self._queue.get(), timeout
+                        )
+                    except TimeoutError:
+                        break
+                if item is None:
+                    stop = True
+                    break
+                batch.append(item)
+            await self._dispatch(batch)
+            if stop:
+                return
+
+    async def _dispatch(
+        self, batch: list[tuple[Any, asyncio.Future, float]]
+    ) -> None:
+        self._flushes.inc()
+        self._sizes.observe(len(batch))
+        try:
+            results = await self._flush([point for point, _, _ in batch])
+        except Exception as exc:  # propagate to every waiter, keep serving
+            for _, future, _ in batch:
+                if not future.done():
+                    future.set_exception(exc)
+        else:
+            for (_, future, _), result in zip(batch, results):
+                if not future.done():
+                    future.set_result(result)
+        finally:
+            self._pending -= len(batch)

@@ -24,6 +24,7 @@ encodings cover the library's point types:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import random
 from dataclasses import dataclass, field
@@ -44,8 +45,45 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 MODEL_FORMAT = "rock-model"
 MODEL_VERSION = 1
+CHECKSUM_KEY = "checksum"
 
 _SCALAR_TYPES = (str, int, float, bool)
+
+
+def artifact_checksum(payload: dict[str, Any]) -> str:
+    """The sha256 hex digest of a model payload's canonical JSON.
+
+    The digest covers every key except :data:`CHECKSUM_KEY` itself,
+    over a canonical rendering (sorted keys, no whitespace) -- so the
+    on-disk indentation never matters and save/verify agree by
+    construction.
+    """
+    body = {k: v for k, v in payload.items() if k != CHECKSUM_KEY}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def verify_artifact_checksum(payload: dict[str, Any]) -> str:
+    """Check a loaded payload against its recorded checksum.
+
+    Returns the *actual* digest of the payload either way.  Artifacts
+    written before checksums existed (no :data:`CHECKSUM_KEY`) pass
+    untouched; a recorded checksum that does not match raises with a
+    clear corrupt-artifact message instead of letting a bit-flipped
+    model silently mis-assign.
+    """
+    actual = artifact_checksum(payload)
+    stored = payload.get(CHECKSUM_KEY)
+    if stored is None:
+        return actual
+    expected = stored.split(":", 1)[-1] if isinstance(stored, str) else stored
+    if expected != actual:
+        raise ValueError(
+            f"model artifact checksum mismatch: recorded sha256:{expected} "
+            f"but content hashes to sha256:{actual} -- the artifact is "
+            "corrupt or truncated; refusing to serve it"
+        )
+    return actual
 
 
 @dataclass
@@ -159,8 +197,14 @@ class RockModel:
         )
 
     def save(self, target: str | Path | TextIO) -> None:
-        """Write the model as JSON to a path or open text stream."""
+        """Write the model as JSON (with a sha256 content checksum).
+
+        The checksum covers the canonical payload, so :meth:`load` can
+        fail fast on corrupt or truncated artifacts; files written by
+        older versions (without a checksum) still load.
+        """
         payload = self.to_dict()
+        payload[CHECKSUM_KEY] = "sha256:" + artifact_checksum(payload)
         if isinstance(target, (str, Path)):
             with open(target, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2)
@@ -170,12 +214,13 @@ class RockModel:
 
     @classmethod
     def load(cls, source: str | Path | TextIO) -> "RockModel":
-        """Read a model saved by :meth:`save`."""
+        """Read a model saved by :meth:`save`, verifying its checksum."""
         if isinstance(source, (str, Path)):
             with open(source, encoding="utf-8") as handle:
                 data = json.load(handle)
         else:
             data = json.load(source)
+        verify_artifact_checksum(data)
         return cls.from_dict(data)
 
 

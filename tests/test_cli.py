@@ -266,3 +266,79 @@ class TestParser:
     def test_unknown_dataset(self):
         with pytest.raises(SystemExit):
             main(["generate", "galaxy", "--out", "x"])
+
+
+class TestServe:
+    @pytest.fixture
+    def model_file(self, tmp_path):
+        from repro.data.transactions import Transaction
+        from repro.serve import RockModel
+
+        theta = 0.4
+        model = RockModel(
+            labeling_sets=[
+                [Transaction({1, 2, 3}), Transaction({1, 2, 4})],
+                [Transaction({7, 8, 9}), Transaction({7, 8, 10})],
+            ],
+            theta=theta,
+            f_theta=(1 - theta) / (1 + theta),
+        )
+        path = tmp_path / "model.json"
+        model.save(path)
+        return path
+
+    def free_port(self):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_serve_answers_requests_then_shuts_down(
+        self, model_file, capsys
+    ):
+        import http.client
+        import json as jsonlib
+        import threading
+        import time
+
+        port = self.free_port()
+        exit_code = []
+        runner = threading.Thread(
+            target=lambda: exit_code.append(main([
+                "serve", "--model", str(model_file),
+                "--port", str(port), "--shutdown-after", "2.5",
+                "--poll-seconds", "10",
+            ]))
+        )
+        runner.start()
+
+        label = None
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and label is None:
+            try:
+                conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+                conn.request(
+                    "POST", "/assign",
+                    body=jsonlib.dumps({"point": [1, 2, 3]}),
+                )
+                response = conn.getresponse()
+                label = jsonlib.loads(response.read())["label"]
+                conn.close()
+            except OSError:
+                time.sleep(0.05)
+        runner.join(30)
+
+        assert label == 0
+        assert exit_code == [0]
+        out = capsys.readouterr().out
+        assert f"on http://127.0.0.1:{port}" in out
+        assert "shutting down: draining in-flight requests" in out
+        assert "served 1 requests (1 points, 0 reloads)" in out
+
+    def test_serve_missing_model_fails(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "serve", "--model", str(tmp_path / "nope.json"),
+                "--port", "0", "--shutdown-after", "0.1",
+            ])

@@ -139,3 +139,78 @@ class TestPrometheusName:
 
     def test_no_prefix(self):
         assert prometheus_name("plain") == "plain"
+
+
+class TestPrometheusFamilyDedupe:
+    """Name collisions across metric kinds must not render twice.
+
+    A combined registry (engine ``serve.*`` + server ``http.*``) can
+    produce colliding *sample* names even when family names differ --
+    e.g. a gauge ``foo_sum`` next to a histogram ``foo`` (which emits
+    ``foo_sum`` itself).  The exporter keeps the first family and drops
+    the collider so the page stays parseable.
+    """
+
+    def test_gauge_colliding_with_counter_total_is_dropped(self):
+        # the counter's exposition name is depth_total; a gauge
+        # literally named depth_total would shadow the same sample
+        snap = {"counters": {"depth": 3}, "gauges": {"depth_total": 9.0}}
+        text = metrics_to_prometheus(snap)
+        type_lines = [ln for ln in text.splitlines() if ln.startswith("# TYPE")]
+        assert type_lines == ["# TYPE rock_depth_total counter"]
+        assert "rock_depth_total 3" in text
+        assert "rock_depth_total 9.0" not in text
+
+    def test_gauge_colliding_with_histogram_sample_is_dropped(self):
+        snap = {
+            "gauges": {"lat.sum": 123.0},
+            "histograms": {"lat": {"count": 1, "sum": 0.5}},
+        }
+        text = metrics_to_prometheus(snap)
+        sample_names = [
+            ln.rsplit(" ", 1)[0].split("{", 1)[0]
+            for ln in text.splitlines()
+            if ln and not ln.startswith("#") and "{" not in ln
+        ]
+        assert len(sample_names) == len(set(sample_names))
+        # the gauge won (gauges render before histograms); the
+        # histogram family was dropped whole, not half-rendered
+        assert "rock_lat_sum 123.0" in text
+        assert "rock_lat_count" not in text
+        assert "rock_lat_bucket" not in text
+
+    def test_dotted_names_colliding_after_sanitising(self):
+        snap = {"counters": {"a.b": 1, "a_b": 2}}
+        text = metrics_to_prometheus(snap)
+        totals = [ln for ln in text.splitlines()
+                  if ln.startswith("rock_a_b_total ")]
+        assert len(totals) == 1
+
+    def test_combined_engine_and_server_snapshot_is_wellformed(self):
+        """The /metrics page shape: serve.* and http.* in one registry."""
+        registry = MetricsRegistry()
+        registry.inc("serve.requests", 5)
+        registry.inc("serve.points", 80)
+        registry.histogram("serve.latency.batch").observe(0.01)
+        registry.inc("http.requests.assign", 80)
+        registry.inc("http.batcher.flushes", 5)
+        registry.histogram(
+            "http.latency.assign", edges=(0.001, 0.01, 0.1)
+        ).observe(0.004)
+        registry.histogram("http.batcher.batch_size", edges=(1, 8, 64)
+                           ).observe(16)
+        text = metrics_to_prometheus(registry.snapshot())
+        seen_meta = set()
+        for line in text.splitlines():
+            if line.startswith("# "):
+                kind, name = line.split(" ", 3)[1:3]
+                assert (kind, name) not in seen_meta
+                seen_meta.add((kind, name))
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)
+            bare = name_part.split("{", 1)[0]
+            assert prometheus_name(bare) == bare
+        assert "rock_serve_requests_total 5" in text
+        assert "rock_http_requests_assign_total 80" in text
+        assert 'rock_http_latency_assign_bucket{le="+Inf"} 1' in text

@@ -245,3 +245,66 @@ def test_engine_matches_labeler_on_large_mixed_batch():
     labeler = ClusterLabeler(labeling_sets, theta=0.3)
     engine = AssignmentEngine(make_model(labeling_sets, theta=0.3))
     assert engine.assign_batch(points).tolist() == labeler.assign_all(points).tolist()
+
+
+class TestCacheThreadSafety:
+    """The HTTP server shares one engine across executor threads."""
+
+    def test_concurrent_hammer_is_correct_and_uncorrupted(self):
+        import threading
+
+        rng = np.random.default_rng(3)
+        labeling_sets = [
+            [Transaction(set(rng.choice(20, size=4, replace=False)))
+             for _ in range(5)],
+            [Transaction(set(rng.choice(np.arange(20, 40), size=4,
+                                        replace=False))) for _ in range(5)],
+        ]
+        universe = [np.arange(20), np.arange(20, 40), np.arange(100, 120)]
+        points = [
+            Transaction(set(rng.choice(universe[rng.integers(3)], size=3,
+                                       replace=False)))
+            for _ in range(40)
+        ]
+        labeler = ClusterLabeler(labeling_sets, theta=0.3)
+        expected = labeler.assign_all(points).tolist()
+        # cache far smaller than the working set: constant concurrent
+        # eviction, the worst case for an unlocked OrderedDict
+        engine = AssignmentEngine(make_model(labeling_sets, theta=0.3),
+                                  cache_size=8)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed):
+            local = np.random.default_rng(seed)
+            barrier.wait()
+            for _ in range(150):
+                i = int(local.integers(len(points)))
+                if local.integers(2):
+                    got = engine.assign(points[i])
+                    want = expected[i]
+                    if got != want:
+                        errors.append((i, got, want))
+                else:
+                    idx = local.integers(len(points), size=4).tolist()
+                    got = engine.assign_batch([points[j] for j in idx])
+                    for j, g in zip(idx, got.tolist()):
+                        if g != expected[j]:
+                            errors.append((j, g, expected[j]))
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == [], errors[:10]
+        snap = engine.metrics.snapshot()
+        # accounting stayed consistent under contention
+        cache = snap["cache"]
+        assert cache["lookups"] == cache["hits"] + cache["misses"]
+        # duplicates inside one batch share a lookup, so <= not ==
+        assert cache["lookups"] <= snap["points"]
+        assert cache["lookups"] > 0
+        assert len(engine._cache) <= 8

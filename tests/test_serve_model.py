@@ -184,3 +184,68 @@ def result_sizes(dataset, pipeline):
         k=pipeline.k, theta=pipeline.theta,
         sample_size=pipeline.sample_size, seed=pipeline.seed,
     ).fit(dataset).cluster_sizes()
+
+
+class TestArtifactChecksum:
+    """Content checksums written on save and verified on load."""
+
+    def test_save_embeds_sha256_checksum(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        model.save(path)
+        data = json.loads(path.read_text())
+        from repro.serve.model import artifact_checksum
+
+        assert data["checksum"] == "sha256:" + artifact_checksum(data)
+        assert len(data["checksum"]) == len("sha256:") + 64
+
+    def test_checksum_is_content_addressed(self, model, tmp_path):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        model.save(p1)
+        model.save(p2)
+        c1 = json.loads(p1.read_text())["checksum"]
+        c2 = json.loads(p2.read_text())["checksum"]
+        assert c1 == c2  # same content, same digest, mtime-independent
+
+    def test_clean_round_trip_verifies(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = RockModel.load(path)
+        assert loaded.theta == model.theta
+
+    def test_tampered_artifact_fails_fast(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        model.save(path)
+        data = json.loads(path.read_text())
+        data["theta"] = 0.7
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            RockModel.load(path)
+
+    def test_truncated_labeling_set_fails_fast(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        model.save(path)
+        data = json.loads(path.read_text())
+        data["labeling_sets"][0].pop()
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            RockModel.load(path)
+
+    def test_pre_checksum_artifacts_still_load(self, model, tmp_path):
+        """Artifacts written before checksums existed have no key."""
+        path = tmp_path / "model.json"
+        model.save(path)
+        data = json.loads(path.read_text())
+        del data["checksum"]
+        path.write_text(json.dumps(data))
+        loaded = RockModel.load(path)
+        assert loaded.theta == model.theta
+        assert loaded.n_clusters == model.n_clusters
+
+    def test_checksum_survives_reserialization(self, model, tmp_path):
+        """Round-tripping through json.loads/dumps keeps the digest valid."""
+        path = tmp_path / "model.json"
+        model.save(path)
+        data = json.loads(path.read_text())
+        (tmp_path / "copy.json").write_text(json.dumps(data))
+        loaded = RockModel.load(tmp_path / "copy.json")
+        assert loaded.theta == model.theta
