@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast lint bench bench-smoke bench-serve bench-serve-http example-serve example-serve-http
+.PHONY: test test-fast lint bench bench-smoke bench-serve bench-serve-http bench-stream example-serve example-serve-http example-stream
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -18,13 +18,14 @@ bench:
 # tiny-n proofs that the blocked and parallel (workers=2) fit paths
 # work and equal the dense path, that the fast merge engine matches
 # the reference loop byte for byte, that a traced fit leaves a
-# complete RunManifest, and that the HTTP server answers + coalesces
-# under concurrent load -- fast enough for CI
+# complete RunManifest, that the HTTP server answers + coalesces
+# under concurrent load, and that stream mode's warmup -> drift refit
+# -> republish chain runs end to end -- fast enough for CI
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/bench_blocked_fit.py benchmarks/bench_parallel_fit.py \
 		benchmarks/bench_merge_phase.py benchmarks/bench_trace_fit.py \
-		benchmarks/bench_serve_http.py \
+		benchmarks/bench_serve_http.py benchmarks/bench_stream.py \
 		-k smoke --benchmark-disable -s
 
 bench-serve:
@@ -37,6 +38,16 @@ bench-serve-http:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/bench_serve_http.py::test_serve_http_load \
 		--benchmark-disable -s
+
+# the full stream bench: label throughput + refit/republish latency,
+# resume vs scratch on the identical shifted stream (not CI)
+bench-stream:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_stream.py::test_stream_load \
+		--benchmark-disable -s
+
+example-stream:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/stream_cluster.py
 
 example-serve:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/serve_assign.py

@@ -1,0 +1,214 @@
+"""S3 -- stream mode: label throughput and refit/republish latency.
+
+Stream mode's bet is twofold: (a) labeling arrivals against the
+current model is cheap enough to keep up with an unbounded feed, and
+(b) a refit that *resumes* from the previous partition
+(``refit_mode="resume"``) is substantially cheaper than re-clustering
+the reservoir from scratch, because most merges are already done and
+only the work the new sample points introduce remains.
+
+This bench drives one synthetic stream -- vocabulary A, then a hard
+shift to a disjoint vocabulary B that forces a drift-triggered refit --
+through :class:`StreamClusterer` in both refit modes and reports
+
+* label throughput (points/second, pure labeling time),
+* per-refit fit latency, split by reason (warmup / drift / interval /
+  drain), and
+* republish latency (atomic tmp+rename write of the versioned
+  artifact).
+
+The acceptance bar: both modes observe the drift refit, and the mean
+post-warmup fit latency under ``resume`` beats ``scratch`` on the
+identical stream (same seeds, same arrivals).
+
+``test_stream_smoke`` is the CI variant: a short stream, one mode,
+asserts the warmup -> drift -> publish chain happened and writes a
+RunManifest; no latency comparison (too noisy for shared runners).
+"""
+
+import random
+import statistics
+
+from benchmarks.machine import machine_summary
+from repro.core.pipeline import RockPipeline
+from repro.eval import format_table
+from repro.obs import RunManifest, Tracer
+from repro.serve.http import load_versioned_model
+from repro.stream import DriftDetector, StreamClusterer
+
+A_VOCAB = [f"a{i}" for i in range(16)]
+B_VOCAB = [f"b{i}" for i in range(16)]  # disjoint: the shift is total
+
+
+def make_stream(n, shift_at, seed):
+    rng = random.Random(seed)
+    return [
+        frozenset(rng.sample(A_VOCAB if i < shift_at else B_VOCAB, 4))
+        for i in range(n)
+    ]
+
+
+def run_mode(mode, stream, path, tracer, **overrides):
+    params = dict(
+        reservoir_size=300, warmup=500, refit_every=1000, batch_size=256,
+    )
+    params.update(overrides)
+    clusterer = StreamClusterer(
+        RockPipeline(k=4, theta=0.35, seed=11),
+        drift=DriftDetector(window=256, max_outlier_rate=0.5),
+        refit_mode=mode,
+        publish_to=path,
+        seed=9,
+        tracer=tracer,
+        **params,
+    )
+    summary = clusterer.process(stream)
+    return clusterer, summary
+
+
+def refit_stats(summary):
+    """Latency aggregates over the stream's refit events."""
+    post_warmup = [e.fit_seconds for e in summary.refits if e.reason != "warmup"]
+    return {
+        "refits": len(summary.refits),
+        "reasons": [e.reason.split()[0].rstrip(":") for e in summary.refits],
+        "drift_refits": sum(
+            1 for e in summary.refits if e.reason.startswith("drift")
+        ),
+        "warmup_fit_s": next(
+            (e.fit_seconds for e in summary.refits if e.reason == "warmup"),
+            None,
+        ),
+        "post_warmup_mean_fit_s": (
+            statistics.mean(post_warmup) if post_warmup else None
+        ),
+        "publish_mean_ms": 1000 * statistics.mean(
+            e.publish_seconds for e in summary.refits
+        ),
+        "labels_per_s": summary.labels_per_second(),
+    }
+
+
+def test_stream_load(tmp_path, benchmark, save_result, save_manifest):
+    stream = make_stream(4000, shift_at=2000, seed=5)
+    tracer = Tracer()
+    stats = {}
+    for mode in ("resume", "scratch"):
+        with tracer.span(f"stream.{mode}"):
+            _, summary = run_mode(
+                mode, stream, tmp_path / f"{mode}.json", tracer
+            )
+        stats[mode] = refit_stats(summary)
+        assert summary.arrivals == len(stream)
+        assert stats[mode]["drift_refits"] >= 1, stats[mode]["reasons"]
+
+    # the acceptance bar: on the identical stream, resuming from the
+    # previous partition beats re-clustering the reservoir from scratch
+    assert (
+        stats["resume"]["post_warmup_mean_fit_s"]
+        < stats["scratch"]["post_warmup_mean_fit_s"]
+    ), stats
+
+    # one benchmarked ingest burst for pytest-benchmark's stats: a
+    # warmed resume-mode clusterer labeling + drain-refitting a segment
+    clusterer, _ = run_mode(
+        "resume", stream[:1000], tmp_path / "bench.json", None,
+        refit_every=None,
+    )
+    segment = stream[1000:1600]
+    benchmark.pedantic(
+        lambda: clusterer.process(segment), rounds=3, iterations=1
+    )
+
+    rows = [
+        [
+            mode,
+            f"{s['labels_per_s']:,.0f}",
+            str(s["refits"]),
+            str(s["drift_refits"]),
+            f"{1000 * s['warmup_fit_s']:.0f}",
+            f"{1000 * s['post_warmup_mean_fit_s']:.0f}",
+            f"{s['publish_mean_ms']:.2f}",
+        ]
+        for mode, s in stats.items()
+    ]
+    speedup = (
+        stats["scratch"]["post_warmup_mean_fit_s"]
+        / stats["resume"]["post_warmup_mean_fit_s"]
+    )
+    text = format_table(
+        ["mode", "labels/s", "refits", "drift", "warmup fit ms",
+         "post-warmup fit ms", "publish ms"],
+        rows,
+        title=(
+            f"stream ingest over {len(stream)} arrivals with a hard "
+            "vocabulary shift at the midpoint"
+        ),
+    )
+    text += (
+        f"\n\nresume refits are {speedup:.1f}x faster than scratch "
+        "after warmup\n\n" + machine_summary()
+    )
+    save_result("stream", text)
+    save_manifest(
+        "stream",
+        RunManifest.from_tracer(
+            "bench_stream", tracer,
+            config={
+                "arrivals": len(stream),
+                "shift_at": 2000,
+                "reservoir_size": 300,
+                "warmup": 500,
+                "refit_every": 1000,
+                "results": stats,
+            },
+        ),
+    )
+
+
+def test_stream_smoke(tmp_path, benchmark, save_result, save_manifest):
+    """CI-sized: the warmup -> drift refit -> republish chain happens
+    end to end and the published artifact matches the live version --
+    no latency assertions."""
+    path = tmp_path / "model.json"
+    stream = make_stream(600, shift_at=300, seed=1)
+    tracer = Tracer()
+
+    def run():
+        clusterer = StreamClusterer(
+            RockPipeline(k=3, theta=0.3, seed=11),
+            reservoir_size=80, warmup=200, batch_size=64,
+            drift=DriftDetector(window=64, max_outlier_rate=0.5),
+            refit_mode="resume", publish_to=path, seed=7, tracer=tracer,
+        )
+        return clusterer, clusterer.process(stream)
+
+    clusterer, summary = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    stats = refit_stats(summary)
+    assert summary.arrivals == len(stream)
+    assert summary.labeled > 0
+    assert stats["reasons"][0] == "warmup"
+    assert stats["drift_refits"] >= 1, stats["reasons"]
+    assert load_versioned_model(path)[1] == clusterer.version
+
+    text = format_table(
+        ["measure", "value"],
+        [
+            ["arrivals", str(summary.arrivals)],
+            ["labeled", str(summary.labeled)],
+            ["labels/s", f"{stats['labels_per_s']:,.0f}"],
+            ["refits", " ".join(stats["reasons"])],
+            ["mean publish ms", f"{stats['publish_mean_ms']:.2f}"],
+            ["final version", summary.final_version],
+        ],
+        title="stream smoke (warmup -> drift refit -> republish only)",
+    )
+    save_result("stream_smoke", text)
+    save_manifest(
+        "stream_smoke",
+        RunManifest.from_tracer(
+            "bench_stream_smoke", tracer,
+            config={"arrivals": len(stream), "shift_at": 300},
+        ),
+    )

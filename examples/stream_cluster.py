@@ -1,0 +1,102 @@
+"""Streaming: incremental clustering with live hot-reload into a server.
+
+``repro.stream`` keeps a ROCK fit alive against an unbounded record
+stream (Section 4.6, run forever):
+
+1. every arrival lands in an online reservoir (Vitter's Algorithm X as
+   a persistent state machine -- draw-for-draw identical to the batch
+   sampler), so a uniform sample of everything seen is always on hand;
+2. arrivals are labeled against the current model, and the windowed
+   outlier rate / mean score feed a drift detector;
+3. a refit fires on interval, drift, or drain -- *resuming* the merge
+   loop from the current model's partition -- and atomically
+   republishes the versioned artifact.
+
+This example streams a market-basket file into a ``StreamClusterer``
+publishing to ``model.json`` while an HTTP server watches that path:
+when the stream's distribution shifts, drift triggers a refit and the
+server hot-swaps generations mid-flight.  In production you would run
+``python -m repro stream --input - --publish-to model.json ...`` next
+to ``python -m repro serve --model model.json``.
+
+    python examples/stream_cluster.py
+"""
+
+import http.client
+import json
+import random
+import tempfile
+from pathlib import Path
+
+from repro import RockPipeline
+from repro.data.transactions import Transaction
+from repro.serve.http import serve_in_thread
+from repro.stream import DriftDetector, StreamClusterer
+
+
+def get_json(address, path):
+    conn = http.client.HTTPConnection(*address, timeout=30)
+    conn.request("GET", path)
+    payload = json.loads(conn.getresponse().read())
+    conn.close()
+    return payload
+
+
+def make_stream(seed=7):
+    """Groceries at first; the stream later shifts to a hardware store."""
+    rng = random.Random(seed)
+    groceries = [f"g{i}" for i in range(12)]
+    hardware = [f"h{i}" for i in range(12)]
+    for tid in range(1200):
+        base = groceries if tid < 600 else hardware
+        lo = 0 if rng.random() < 0.5 else 6
+        yield Transaction(rng.sample(base[lo : lo + 6], 4), tid=tid)
+
+
+def main() -> None:
+    model_path = Path(tempfile.mkdtemp()) / "model.json"
+
+    pipeline = RockPipeline(k=2, theta=0.4, seed=0)
+    clusterer = StreamClusterer(
+        pipeline,
+        reservoir_size=150,
+        publish_to=model_path,
+        refit_every=400,
+        drift=DriftDetector(window=80, max_outlier_rate=0.5),
+        refit_mode="resume",
+        seed=1,
+        on_refit=lambda e: print(
+            f"  refit #{e.index} [{e.reason}] -> version {e.version}"
+        ),
+    )
+
+    # warm up on the head of the stream so an artifact exists to serve
+    stream = make_stream()
+    head = [next(stream) for _ in range(200)]
+    clusterer.process(head)
+    print(f"initial model published: version {clusterer.version}\n")
+
+    # a live server hot-swaps each republished generation
+    with serve_in_thread(model_path, poll_seconds=0.05) as handle:
+        first = get_json(handle.address, "/model")["model_version"]
+        print(f"serving version {first}")
+
+        summary = clusterer.process(stream)  # groceries -> hardware shift
+        print(f"\nstreamed {summary.arrivals} more arrivals, "
+              f"{summary.outliers} outliers, "
+              f"{len(summary.refits)} refits "
+              f"({summary.labels_per_second():,.0f} labels/s)")
+
+        import time
+        while get_json(handle.address, "/model")["model_version"] != clusterer.version:
+            time.sleep(0.05)
+        health = get_json(handle.address, "/healthz")
+        print(f"server hot-swapped {first} -> {health['model_version']} "
+              f"({health['reloads']} reloads, "
+              f"model age {health['model_age_seconds']:.1f}s)")
+
+    print("\nserver drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,11 @@ The subcommands cover the end-to-end workflow from the paper:
   the saved model without re-clustering;
 * ``serve`` -- stand the saved model up as a long-running HTTP
   service (batched ``/assign``, hot reload on artifact change,
-  Prometheus ``/metrics``).
+  Prometheus ``/metrics``);
+* ``stream`` -- incremental clustering over an unbounded stream: an
+  online reservoir feeds periodic refits (interval- or
+  drift-triggered), each refit atomically republishes the artifact a
+  running ``serve`` hot-swaps.  SIGINT/SIGTERM drain gracefully.
 
 Examples::
 
@@ -304,6 +308,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="gracefully stop after this many seconds (smoke tests / demos)",
     )
     _add_obs_args(serve)
+
+    stream = sub.add_parser(
+        "stream",
+        help="incrementally cluster an unbounded transactions stream "
+        "(online reservoir, drift-triggered refits, atomic republish)",
+    )
+    stream.add_argument(
+        "--input", required=True,
+        help="transactions file, or '-' to consume stdin",
+    )
+    stream.add_argument("--theta", type=float, required=True)
+    stream.add_argument("-k", type=int, required=True, help="cluster-count hint")
+    stream.add_argument(
+        "--reservoir", type=int, default=500,
+        help="online reservoir capacity (the Section 4.6 sample size)",
+    )
+    stream.add_argument(
+        "--warmup", type=int, default=None,
+        help="arrivals before the first fit (default: reservoir capacity)",
+    )
+    stream.add_argument(
+        "--refit-every", type=int, default=None,
+        help="refit after this many arrivals since the last fit "
+        "(omit to refit only on drift / drain)",
+    )
+    stream.add_argument(
+        "--refit-mode", choices=["resume", "scratch"], default="resume",
+        help="'resume' restarts each merge loop from the partition the "
+        "current model induces on the reservoir; 'scratch' refits from "
+        "singletons",
+    )
+    stream.add_argument(
+        "--drift-window", type=int, default=512,
+        help="assignments in the drift detector's sliding window",
+    )
+    stream.add_argument(
+        "--max-outlier-rate", type=float, default=None,
+        help="refit when the windowed outlier rate exceeds this",
+    )
+    stream.add_argument(
+        "--min-mean-score", type=float, default=None,
+        help="refit when the windowed mean assignment score drops below this",
+    )
+    stream.add_argument(
+        "--batch-size", type=int, default=256,
+        help="arrivals labeled per vectorised batch",
+    )
+    stream.add_argument(
+        "--max-records", type=int, default=None,
+        help="stop after this many arrivals (smoke tests / demos)",
+    )
+    stream.add_argument(
+        "--publish-to", type=Path, default=None,
+        help="atomically republish each refit model artifact here "
+        "(a serving ModelWatcher hot-swaps it)",
+    )
+    stream.add_argument("--min-cluster-size", type=int, default=None)
+    stream.add_argument("--seed", type=int, default=0)
+    _add_fit_memory_args(stream)
+    _add_obs_args(stream)
     return parser
 
 
@@ -707,6 +771,111 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    import signal
+    from itertools import islice
+
+    from repro.data.io import iter_transactions
+    from repro.obs import Tracer
+    from repro.stream import DriftDetector, StreamClusterer
+
+    tracer = Tracer()
+    pipeline = RockPipeline(
+        k=args.k,
+        theta=args.theta,
+        min_cluster_size=args.min_cluster_size,
+        neighbor_method=args.neighbor_method,
+        memory_budget=_memory_budget_bytes(args),
+        fit_mode=args.fit_mode,
+        merge_method=args.merge_method,
+        workers=_fit_workers(args),
+        seed=args.seed,
+    )
+    drift = None
+    if args.max_outlier_rate is not None or args.min_mean_score is not None:
+        drift = DriftDetector(
+            registry=tracer.registry,
+            window=args.drift_window,
+            max_outlier_rate=args.max_outlier_rate,
+            min_mean_score=args.min_mean_score,
+        )
+
+    def _on_refit(event) -> None:
+        print(
+            f"refit #{event.index} [{event.reason}] at arrival "
+            f"{event.arrivals_seen}: {event.n_clusters} clusters, "
+            f"version {event.version} "
+            f"(fit {event.fit_seconds:.2f}s, "
+            f"publish {event.publish_seconds * 1000:.1f}ms)",
+            flush=True,
+        )
+
+    clusterer = StreamClusterer(
+        pipeline,
+        reservoir_size=args.reservoir,
+        publish_to=args.publish_to,
+        warmup=args.warmup,
+        refit_every=args.refit_every,
+        drift=drift,
+        refit_mode=args.refit_mode,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        tracer=tracer,
+        on_refit=_on_refit,
+    )
+
+    def _drain(signum, frame) -> None:
+        print("drain requested: finishing current batch", flush=True)
+        clusterer.request_drain()
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _drain)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        source = sys.stdin if args.input == "-" else args.input
+        records = iter_transactions(source)
+        if args.max_records is not None:
+            records = islice(records, args.max_records)
+        summary = clusterer.process(records)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+    rows = [
+        ["arrivals", summary.arrivals],
+        ["labeled", summary.labeled],
+        ["outliers / unassigned", summary.outliers],
+        ["label throughput (points/s)", f"{summary.labels_per_second():,.0f}"],
+        ["refits", len(summary.refits)],
+        ["refit reasons", " | ".join(e.reason for e in summary.refits)],
+        ["final version", summary.final_version or "-"],
+        ["drained early", summary.drained],
+    ]
+    if args.publish_to is not None:
+        rows.append(["published to", args.publish_to])
+    print(format_table(["measure", "value"], rows, title="ROCK stream"))
+    _emit_observability(
+        args, "stream", tracer,
+        config={
+            "input": str(args.input),
+            "k": args.k,
+            "theta": args.theta,
+            "reservoir": args.reservoir,
+            "refit_every": args.refit_every,
+            "refit_mode": args.refit_mode,
+            "drift_window": args.drift_window,
+            "max_outlier_rate": args.max_outlier_rate,
+            "min_mean_score": args.min_mean_score,
+            "publish_to": None if args.publish_to is None else str(args.publish_to),
+            "seed": args.seed,
+        },
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
@@ -723,6 +892,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_assign(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "stream":
+        return cmd_stream(args)
     return cmd_evaluate(args)
 
 

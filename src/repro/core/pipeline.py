@@ -225,6 +225,7 @@ class RockPipeline:
         points: Any,
         label_remaining: bool = True,
         tracer: Tracer | None = None,
+        initial_clusters: Sequence[Sequence[int]] | None = None,
     ) -> PipelineResult:
         """Run the pipeline over an in-memory point collection.
 
@@ -244,6 +245,17 @@ class RockPipeline:
         ``PipelineResult.timings`` either way (they are read off the
         spans), so passing a tracer changes observability only, never
         results.
+
+        ``initial_clusters`` is the resume seam used by streaming
+        refits: a starting partition over the *input* points (indices
+        into ``points``), as produced e.g. by labeling the sample
+        against an earlier model.  Merging starts from that partition
+        instead of singletons, exactly as
+        :func:`~repro.core.rock.cluster_with_links` resumes (the
+        outlier-weeding pause already relies on the same machinery).
+        Members that fall outside the drawn sample or are pruned as
+        isolated points drop out of their cluster; kept points not
+        covered by any initial cluster start as singletons.
         """
         tracer = tracer if tracer is not None else Tracer()
         rng = random.Random(self.seed)
@@ -259,9 +271,11 @@ class RockPipeline:
             theta=self.theta,
             workers=workers,
             merge_method=self.merge_method,
+            resumed=initial_clusters is not None,
         ):
             return self._fit_phases(
-                points, n_total, label_remaining, rng, tracer
+                points, n_total, label_remaining, rng, tracer,
+                initial_clusters,
             )
 
     def _fit_phases(
@@ -271,6 +285,7 @@ class RockPipeline:
         label_remaining: bool,
         rng: random.Random,
         tracer: Tracer,
+        initial_clusters: Sequence[Sequence[int]] | None = None,
     ) -> PipelineResult:
         registry = tracer.registry
         timings: dict[str, float] = {}
@@ -358,6 +373,11 @@ class RockPipeline:
             timings["links"] = span.wall_seconds
 
         # -- 4. cluster (with optional pause-and-weed) ----------------------
+        starting_partition = (
+            None
+            if initial_clusters is None
+            else _map_initial_clusters(initial_clusters, sampled, kept, n_total)
+        )
         with tracer.span(
             "cluster", k=self.k, merge_method=self.merge_method
         ) as span:
@@ -366,6 +386,7 @@ class RockPipeline:
                 pause_at = weeding_stop_count(self.k, self.outlier_multiple)
                 first = cluster_with_links(
                     links, k=pause_at, f_theta=f_theta,
+                    initial_clusters=starting_partition,
                     goodness_fn=self.goodness_fn,
                     merge_method=self.merge_method, workers=self.workers,
                     registry=registry,
@@ -391,6 +412,7 @@ class RockPipeline:
             else:
                 result = cluster_with_links(
                     links, k=self.k, f_theta=f_theta,
+                    initial_clusters=starting_partition,
                     goodness_fn=self.goodness_fn,
                     merge_method=self.merge_method, workers=self.workers,
                     registry=registry,
@@ -486,6 +508,51 @@ class RockPipeline:
             points, label_remaining=label_remaining, tracer=tracer
         )
         return result, self.to_model(result, points)
+
+
+def _map_initial_clusters(
+    initial_clusters: Sequence[Sequence[int]],
+    sampled: Sequence[int],
+    kept: Sequence[int],
+    n_total: int,
+) -> list[list[int]]:
+    """Translate an input-space starting partition into pruned-sample space.
+
+    ``initial_clusters`` index the original input points; the merge loop
+    operates on positions within the pruned sample.  Members outside the
+    sample or pruned as isolated points are dropped (their cluster
+    shrinks), emptied clusters disappear, and kept points not covered by
+    any cluster are appended as singletons so the partition always
+    covers the pruned sample exactly.
+    """
+    sample_pos = {int(orig): pos for pos, orig in enumerate(sampled)}
+    kept_pos = {int(orig): pos for pos, orig in enumerate(kept)}
+    mapped: list[list[int]] = []
+    covered: set[int] = set()
+    for cluster in initial_clusters:
+        members: list[int] = []
+        for p in cluster:
+            p = int(p)
+            if not 0 <= p < n_total:
+                raise ValueError(
+                    f"initial cluster member {p} outside [0, {n_total})"
+                )
+            sp = sample_pos.get(p)
+            if sp is None:
+                continue
+            kp = kept_pos.get(sp)
+            if kp is None:
+                continue
+            if kp in covered:
+                raise ValueError(
+                    f"point {p} appears in multiple initial clusters"
+                )
+            covered.add(kp)
+            members.append(kp)
+        if members:
+            mapped.append(sorted(members))
+    mapped.extend([pos] for pos in range(len(kept)) if pos not in covered)
+    return mapped
 
 
 def _subset(points: Any, indices: Sequence[int]) -> Any:

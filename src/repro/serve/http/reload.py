@@ -15,10 +15,23 @@ request.  The mechanism:
   the new one, never a mix, and requests already holding the old
   bundle drain on the old model;
 * :class:`ModelWatcher` polls the artifact path from a side thread
-  (``stat`` only; the load itself also runs on that thread, off the
-  event loop), swaps on a changed ``(mtime_ns, size)`` signature, and
-  records reload counters.  A failed reload keeps the old model
-  serving and surfaces the error on ``/healthz``.
+  (``stat`` only in steady state; the load itself also runs on that
+  thread, off the event loop), swaps on a changed ``(mtime_ns, size)``
+  signature, and records reload counters.  A failed reload keeps the
+  old model serving and surfaces the error on ``/healthz``.
+
+The stat signature alone is not sufficient under the frequent-republish
+pattern stream mode creates: a same-size in-place rewrite landing
+within the filesystem's mtime granularity leaves ``(mtime_ns, size)``
+unchanged and would be silently missed.  The watcher therefore treats
+an unchanged-but-*recent* signature (mtime within
+``rewrite_window_seconds`` of now) as suspicious and confirms identity
+by re-hashing the artifact's embedded-checksum content; once the mtime
+ages past the window, polls go back to stat-only.
+
+Two clocks are kept deliberately: :attr:`ServedModel.loaded_monotonic`
+is the basis for all age/staleness math (immune to wall-clock steps),
+while :attr:`ServedModel.loaded_unix` exists for display only.
 """
 
 from __future__ import annotations
@@ -37,6 +50,21 @@ from repro.serve.model import RockModel, verify_artifact_checksum
 __all__ = ["ModelWatcher", "ServedModel", "load_versioned_model"]
 
 
+def _read_artifact(path: str | Path) -> tuple[RockModel, str]:
+    """Load and checksum-verify an artifact; returns ``(model, full digest)``."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    digest = verify_artifact_checksum(data)
+    return RockModel.from_dict(data), digest
+
+
+def _artifact_digest(path: Path) -> str:
+    """The content digest alone (the cheap identity probe for rewrites)."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return verify_artifact_checksum(data)
+
+
 def load_versioned_model(path: str | Path) -> tuple[RockModel, str]:
     """Load and checksum-verify an artifact; returns ``(model, version)``.
 
@@ -44,21 +72,32 @@ def load_versioned_model(path: str | Path) -> tuple[RockModel, str]:
     stable across re-saves of identical content, different for any
     content change.
     """
-    with open(path, encoding="utf-8") as handle:
-        data = json.load(handle)
-    digest = verify_artifact_checksum(data)
-    return RockModel.from_dict(data), digest[:16]
+    model, digest = _read_artifact(path)
+    return model, digest[:16]
 
 
 @dataclass(frozen=True)
 class ServedModel:
-    """One immutable (model, engine, version) generation."""
+    """One immutable (model, engine, version) generation.
+
+    ``loaded_monotonic`` is the staleness basis (compare against
+    :func:`time.monotonic`); ``loaded_unix`` is wall clock for display
+    and never enters age arithmetic.  ``digest`` is the full content
+    sha256 backing the rewrite-identity check.
+    """
 
     model: RockModel
     engine: AssignmentEngine
     version: str
     loaded_unix: float
     source_signature: tuple[int, int] | None = None  # (mtime_ns, size)
+    loaded_monotonic: float = 0.0
+    digest: str = ""
+
+    def age_seconds(self, now_monotonic: float | None = None) -> float:
+        """Monotonic model age; never negative, immune to clock steps."""
+        now = time.monotonic() if now_monotonic is None else now_monotonic
+        return max(0.0, now - self.loaded_monotonic)
 
 
 def _file_signature(path: Path) -> tuple[int, int]:
@@ -81,15 +120,20 @@ class ModelWatcher:
         registry: MetricsRegistry | None = None,
         cache_size: int = 4096,
         poll_seconds: float = 1.0,
+        rewrite_window_seconds: float = 2.0,
     ) -> None:
         if poll_seconds <= 0:
             raise ValueError("poll_seconds must be positive")
+        if rewrite_window_seconds < 0:
+            raise ValueError("rewrite_window_seconds must be non-negative")
         self.path = Path(path)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.cache_size = cache_size
         self.poll_seconds = poll_seconds
+        self.rewrite_window_seconds = rewrite_window_seconds
         self._reloads = self.registry.counter("http.reload.count")
         self._reload_errors = self.registry.counter("http.reload.errors")
+        self._content_checks = self.registry.counter("http.reload.content_checks")
         self._swap_lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -98,7 +142,7 @@ class ModelWatcher:
 
     def _load(self) -> ServedModel:
         signature = _file_signature(self.path)
-        model, version = load_versioned_model(self.path)
+        model, digest = _read_artifact(self.path)
         # every generation shares the one registry, so serve.* counters
         # keep accumulating across swaps instead of resetting
         engine = AssignmentEngine(
@@ -109,23 +153,46 @@ class ModelWatcher:
         return ServedModel(
             model=model,
             engine=engine,
-            version=version,
+            version=digest[:16],
             loaded_unix=time.time(),
             source_signature=signature,
+            loaded_monotonic=time.monotonic(),
+            digest=digest,
         )
 
     # -- polling ------------------------------------------------------------
 
+    def _signature_suspicious(self, signature: tuple[int, int]) -> bool:
+        """Whether an unchanged stat signature could still hide a rewrite.
+
+        A same-size in-place rewrite within the filesystem's mtime
+        granularity leaves ``(mtime_ns, size)`` equal.  That is only
+        possible while the mtime is *recent*; once it ages past the
+        rewrite window no new write can share it, and polling is
+        stat-only again.
+        """
+        mtime_ns, _size = signature
+        return time.time() - mtime_ns / 1e9 <= self.rewrite_window_seconds
+
     def check_once(self) -> bool:
         """Poll the artifact now; returns True when a swap happened.
 
-        A vanished file or failed load keeps the previous model and
-        records the error; serving is never interrupted by a bad write.
+        An unchanged stat signature is trusted only once the mtime has
+        aged past ``rewrite_window_seconds``; a recent one is confirmed
+        against the current generation's content digest, catching
+        same-size rewrites inside the mtime granularity.  A vanished
+        file or failed load keeps the previous model and records the
+        error; serving is never interrupted by a bad write.
         """
         with self._swap_lock:
             try:
-                if _file_signature(self.path) == self.current.source_signature:
-                    return False
+                signature = _file_signature(self.path)
+                if signature == self.current.source_signature:
+                    if not self._signature_suspicious(signature):
+                        return False
+                    self._content_checks.inc()
+                    if _artifact_digest(self.path) == self.current.digest:
+                        return False
                 served = self._load()
             except (OSError, ValueError, KeyError) as exc:
                 self.last_error = f"{type(exc).__name__}: {exc}"

@@ -432,6 +432,9 @@ class RockHttpServer:
         body = json.dumps(
             {
                 "model_version": served.version,
+                # age math is monotonic (clock-step immune); the wall
+                # timestamp is display-only provenance
+                "model_age_seconds": served.age_seconds(),
                 "loaded_unix": served.loaded_unix,
                 "n_clusters": served.model.n_clusters,
                 "theta": served.model.theta,
@@ -453,6 +456,7 @@ class RockHttpServer:
                 "status": "draining" if self._closing else "ok",
                 "model_version": self.watcher.current.version,
                 "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "model_age_seconds": self.watcher.current.age_seconds(),
                 "reloads": int(snap.get("http.reload.count", 0)),
                 "reload_errors": int(snap.get("http.reload.errors", 0)),
                 "last_reload_error": self.watcher.last_error,

@@ -1,0 +1,37 @@
+"""Incremental clustering over unbounded data (Section 4.6, streamed).
+
+The batch pipeline fits once and exits; this package keeps the fit
+alive against a stream:
+
+* :class:`~repro.stream.reservoir.OnlineReservoir` -- Vitter's
+  Algorithm X as a persistent state machine, draw-for-draw identical
+  to the batch :func:`~repro.core.sampling.reservoir_sample_skip`;
+* :class:`~repro.stream.drift.DriftDetector` -- windowed
+  assignment-quality gauges (outlier rate, mean score) whose threshold
+  crossings trigger refits;
+* :class:`~repro.stream.runner.StreamClusterer` -- the session loop:
+  label arrivals, refit on interval/drift/drain (optionally resuming
+  from the current model's partition via ``initial_clusters``), and
+  atomically republish versioned artifacts for
+  :class:`~repro.serve.http.reload.ModelWatcher` to hot-swap.
+
+CLI entry point: ``python -m repro stream``.
+"""
+
+from repro.stream.drift import DriftDetector
+from repro.stream.reservoir import OnlineReservoir
+from repro.stream.runner import (
+    RefitEvent,
+    StreamClusterer,
+    StreamSummary,
+    publish_model,
+)
+
+__all__ = [
+    "DriftDetector",
+    "OnlineReservoir",
+    "RefitEvent",
+    "StreamClusterer",
+    "StreamSummary",
+    "publish_model",
+]

@@ -1,0 +1,138 @@
+"""Assignment-quality drift detection over the label stream.
+
+The streaming session labels every arrival against the model fit on an
+earlier reservoir.  When the incoming distribution moves, two symptoms
+appear in the assignment stream long before anyone inspects clusters:
+
+* the **outlier rate** rises -- arrivals stop having neighbors in any
+  labeling set ``L_i`` (label -1);
+* the **mean best score** falls -- arrivals still land in a cluster,
+  but with fewer neighbors relative to ``(|L_i| + 1)^{f(theta)}`` than
+  the points the model was fit on.
+
+:class:`DriftDetector` watches both over a sliding window of recent
+assignments, publishes them as registry gauges
+(``stream.drift.outlier_rate`` / ``stream.drift.mean_score``), and
+reports a threshold crossing as a refit trigger.  The window must be
+full before it can trigger (a handful of early outliers is noise, not
+drift), and :meth:`reset` empties it after a refit so the new model
+gets a fresh window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["DriftDetector"]
+
+
+class DriftDetector:
+    """Sliding-window drift triggers over per-point assignment quality.
+
+    Parameters
+    ----------
+    registry:
+        Metrics sink for the two gauges; a private one is created when
+        omitted.
+    window:
+        Number of recent assignments the rate/mean are computed over.
+    max_outlier_rate:
+        Trigger when the windowed outlier rate exceeds this (``None``
+        disables the trigger).
+    min_mean_score:
+        Trigger when the windowed mean best-score falls below this
+        (``None`` disables).  Scores are the labeling phase's
+        normalised ``N_i / (|L_i| + 1)^{f(theta)}``; outliers score 0.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        window: int = 512,
+        max_outlier_rate: float | None = None,
+        min_mean_score: float | None = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if max_outlier_rate is not None and not 0.0 <= max_outlier_rate <= 1.0:
+            raise ValueError(
+                f"max_outlier_rate must be in [0, 1], got {max_outlier_rate}"
+            )
+        if min_mean_score is not None and min_mean_score < 0.0:
+            raise ValueError(
+                f"min_mean_score must be non-negative, got {min_mean_score}"
+            )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.window = window
+        self.max_outlier_rate = max_outlier_rate
+        self.min_mean_score = min_mean_score
+        self._outliers: deque[bool] = deque(maxlen=window)
+        self._scores: deque[float] = deque(maxlen=window)
+        self._outlier_count = 0
+        self._score_sum = 0.0
+        self._rate_gauge = self.registry.gauge("stream.drift.outlier_rate")
+        self._score_gauge = self.registry.gauge("stream.drift.mean_score")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any threshold can ever fire."""
+        return (
+            self.max_outlier_rate is not None
+            or self.min_mean_score is not None
+        )
+
+    @property
+    def outlier_rate(self) -> float:
+        return self._outlier_count / len(self._outliers) if self._outliers else 0.0
+
+    @property
+    def mean_score(self) -> float:
+        return self._score_sum / len(self._scores) if self._scores else 0.0
+
+    def observe(
+        self, labels: Sequence[int], scores: Sequence[float]
+    ) -> str | None:
+        """Fold one labeled batch in; returns a trigger reason or ``None``.
+
+        ``labels`` and ``scores`` are parallel (score 0.0 for
+        outliers).  Gauges are refreshed on every call; a trigger is
+        only reported once the window is full.
+        """
+        for label, score in zip(labels, scores):
+            if len(self._outliers) == self.window:
+                self._outlier_count -= self._outliers[0]
+                self._score_sum -= self._scores[0]
+            is_outlier = label < 0
+            self._outliers.append(is_outlier)
+            self._scores.append(float(score))
+            self._outlier_count += is_outlier
+            self._score_sum += float(score)
+        rate = self.outlier_rate
+        mean = self.mean_score
+        self._rate_gauge.set(rate)
+        self._score_gauge.set(mean)
+        if len(self._outliers) < self.window:
+            return None
+        if self.max_outlier_rate is not None and rate > self.max_outlier_rate:
+            return (
+                f"outlier_rate {rate:.3f} > {self.max_outlier_rate:.3f} "
+                f"over last {self.window}"
+            )
+        if self.min_mean_score is not None and mean < self.min_mean_score:
+            return (
+                f"mean_score {mean:.4f} < {self.min_mean_score:.4f} "
+                f"over last {self.window}"
+            )
+        return None
+
+    def reset(self) -> None:
+        """Forget the window (called after a refit swaps the model)."""
+        self._outliers.clear()
+        self._scores.clear()
+        self._outlier_count = 0
+        self._score_sum = 0.0
+        self._rate_gauge.set(0.0)
+        self._score_gauge.set(0.0)

@@ -1,0 +1,124 @@
+"""An online reservoir over an unbounded stream (Section 4.6, [Vit85]).
+
+The batch samplers of :mod:`repro.core.sampling` consume a whole
+iterable and return; a long-running stream session instead needs a
+reservoir that *persists between arrivals* -- records keep flowing in
+while periodic refits read the current sample.  :class:`OnlineReservoir`
+is Vitter's Algorithm X restated as a state machine: the skip count
+``g`` (how many records to pass over before the next replacement) is
+drawn eagerly -- at fill time and after every replacement -- and then
+counted down one arrival at a time.
+
+The restatement is *exact*: for the same seed it makes the same random
+draws in the same order as :func:`repro.core.sampling.reservoir_sample_skip`
+over the concatenated stream, so the held sample is identical to what
+the batch sampler would have produced, no matter how arrivals are
+chunked across :meth:`extend` calls.  (The equivalence is tested
+element-for-element, and the inclusion distribution gets the same
+chi-square treatment as the batch algorithms.)
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+from typing import Generic, TypeVar
+
+from repro.core.sampling import _as_rng, _check_size
+
+T = TypeVar("T")
+
+__all__ = ["OnlineReservoir"]
+
+
+class OnlineReservoir(Generic[T]):
+    """A uniform sample of everything ever :meth:`add`-ed, maintained online.
+
+    Parameters
+    ----------
+    sample_size:
+        Reservoir capacity ``s``; once the stream exceeds it, every
+        record ever seen has inclusion probability ``s / n_seen``.
+    rng:
+        Seed or :class:`random.Random`; a fixed seed makes the whole
+        stream session reproducible.
+    """
+
+    def __init__(
+        self,
+        sample_size: int,
+        rng: random.Random | int | None = None,
+    ) -> None:
+        _check_size(sample_size)
+        self.sample_size = sample_size
+        self._rng = _as_rng(rng)
+        self._reservoir: list[tuple[int, T]] = []
+        self._seen = 0
+        self._t = 0        # records seen at the last skip draw (Vitter's t)
+        self._skip = 0     # arrivals still to pass over before replacing
+        self._gap = 0      # the g that _skip started from (advances t)
+
+    @property
+    def seen(self) -> int:
+        """Total records consumed so far (the stream's ``n``)."""
+        return self._seen
+
+    def __len__(self) -> int:
+        return len(self._reservoir)
+
+    @property
+    def full(self) -> bool:
+        return len(self._reservoir) == self.sample_size
+
+    def add(self, item: T) -> None:
+        """Consume one arrival, replacing a reservoir slot when its turn comes."""
+        index = self._seen
+        self._seen += 1
+        if len(self._reservoir) < self.sample_size:
+            self._reservoir.append((index, item))
+            if len(self._reservoir) == self.sample_size:
+                self._t = self.sample_size
+                self._draw_skip()
+            return
+        if self._skip > 0:
+            self._skip -= 1
+            return
+        self._reservoir[self._rng.randrange(self.sample_size)] = (index, item)
+        self._t += self._gap + 1
+        self._draw_skip()
+
+    def extend(self, items: Iterable[T]) -> int:
+        """Consume a chunk of arrivals; returns how many were consumed."""
+        before = self._seen
+        for item in items:
+            self.add(item)
+        return self._seen - before
+
+    def sample(self) -> tuple[list[T], list[int]]:
+        """The current ``(sample, stream_indices)``, ordered by stream position.
+
+        Snapshot semantics: the returned lists are copies, so a refit
+        can cluster them while arrivals keep mutating the reservoir.
+        """
+        ordered = sorted(self._reservoir, key=lambda pair: pair[0])
+        return [item for _, item in ordered], [index for index, _ in ordered]
+
+    def _draw_skip(self) -> None:
+        # inversion of the skip-distribution tail, exactly as the batch
+        # Algorithm X: smallest g with P(skip >= g) <= u
+        u = self._rng.random()
+        s = self.sample_size
+        t = self._t
+        quotient = (t - s + 1) / (t + 1)
+        g = 0
+        while quotient > u:
+            g += 1
+            quotient *= (t - s + 1 + g) / (t + 1 + g)
+        self._gap = g
+        self._skip = g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OnlineReservoir(size={len(self._reservoir)}/{self.sample_size}, "
+            f"seen={self._seen})"
+        )

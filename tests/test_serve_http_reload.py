@@ -12,8 +12,10 @@ labeling sets are swapped), so any response pairing the old version
 string with the new label (or vice versa) fails the test.
 """
 
+import dataclasses
 import http.client
 import json
+import os
 import threading
 import time
 
@@ -21,7 +23,7 @@ import pytest
 
 from repro.data.transactions import Transaction
 from repro.serve import RockModel
-from repro.serve.http import load_versioned_model, serve_in_thread
+from repro.serve.http import ModelWatcher, load_versioned_model, serve_in_thread
 
 SETS_A = [
     [Transaction({1, 2, 3}), Transaction({1, 2, 4})],
@@ -229,3 +231,117 @@ class TestAtomicSwap:
                 time.sleep(0.02)
             assert "checksum mismatch" in (health["last_reload_error"] or "")
             assert health["model_version"] == version_a
+
+
+class TestRewriteWindow:
+    """Regression: change detection keyed on ``(mtime_ns, size)`` alone
+    missed a same-size in-place rewrite landing within the mtime
+    granularity.  The watcher must confirm a *recent* unchanged
+    signature against the content digest -- and go back to stat-only
+    once the mtime has aged past the window."""
+
+    def same_size_rewrite(self, path):
+        """Rewrite the artifact in place with swapped labeling sets,
+        byte length preserved, and the original stat signature forced
+        back (the worst case the mtime granularity can produce)."""
+        before = path.stat()
+        scratch = path.parent / "rewrite-src.json"
+        build_model(SETS_B, "x").save(scratch)
+        content_b = scratch.read_text()
+        scratch.unlink()
+        assert len(content_b.encode()) == before.st_size, (
+            "fixture drift: models A and B must serialize to equal sizes"
+        )
+        path.write_text(content_b)
+        os.utime(path, ns=(before.st_atime_ns, before.st_mtime_ns))
+        after = path.stat()
+        assert (after.st_mtime_ns, after.st_size) == (
+            before.st_mtime_ns, before.st_size,
+        )
+
+    def test_same_signature_rewrite_detected(self, tmp_path):
+        path = tmp_path / "model.json"
+        build_model(SETS_A, "x").save(path)
+        watcher = ModelWatcher(path, rewrite_window_seconds=60.0)
+        version_a = watcher.current.version
+        self.same_size_rewrite(path)
+        assert watcher.check_once() is True
+        assert watcher.current.version != version_a
+        assert watcher.current.version == load_versioned_model(path)[1]
+        counters = watcher.registry.snapshot()["counters"]
+        assert counters["http.reload.content_checks"] >= 1
+        assert counters["http.reload.count"] == 1
+
+    def test_missed_without_content_confirmation(self, tmp_path):
+        """The bug, demonstrated: with the window disabled the same
+        rewrite is invisible to a stat-only poll."""
+        path = tmp_path / "model.json"
+        build_model(SETS_A, "x").save(path)
+        watcher = ModelWatcher(path, rewrite_window_seconds=0.0)
+        version_a = watcher.current.version
+        self.same_size_rewrite(path)
+        assert watcher.check_once() is False
+        assert watcher.current.version == version_a
+
+    def test_steady_state_stays_stat_only(self, tmp_path):
+        path = tmp_path / "model.json"
+        build_model(SETS_A, "x").save(path)
+        stat = path.stat()
+        # age the artifact well past the default window
+        os.utime(
+            path, ns=(stat.st_atime_ns, stat.st_mtime_ns - 600 * 10**9)
+        )
+        watcher = ModelWatcher(path, rewrite_window_seconds=2.0)
+        for _ in range(5):
+            assert watcher.check_once() is False
+        counters = watcher.registry.snapshot()["counters"]
+        assert counters.get("http.reload.content_checks", 0) == 0
+        assert counters.get("http.reload.count", 0) == 0
+
+    def test_recent_unchanged_content_confirmed_not_swapped(self, tmp_path):
+        path = tmp_path / "model.json"
+        build_model(SETS_A, "x").save(path)
+        watcher = ModelWatcher(path, rewrite_window_seconds=3600.0)
+        assert watcher.check_once() is False  # content check, same digest
+        counters = watcher.registry.snapshot()["counters"]
+        assert counters["http.reload.content_checks"] >= 1
+        assert counters.get("http.reload.count", 0) == 0
+
+    def test_negative_window_rejected(self, tmp_path):
+        path = tmp_path / "model.json"
+        build_model(SETS_A, "x").save(path)
+        with pytest.raises(ValueError):
+            ModelWatcher(path, rewrite_window_seconds=-1.0)
+
+
+class TestMonotonicAge:
+    """Regression: reload recorded ``loaded_unix = time.time()`` while
+    the server measured age against ``time.monotonic()`` -- a wall
+    clock step (NTP, DST, manual set) corrupted every age readout.
+    Age math now lives entirely in the monotonic domain."""
+
+    def test_age_is_monotonic_and_ignores_wall_clock(self, tmp_path):
+        path = tmp_path / "model.json"
+        build_model(SETS_A, "x").save(path)
+        watcher = ModelWatcher(path)
+        served = watcher.current
+        basis = served.loaded_monotonic
+        assert served.age_seconds(now_monotonic=basis + 5.0) == 5.0
+        # never negative, even against a stale monotonic reading
+        assert served.age_seconds(now_monotonic=basis - 5.0) == 0.0
+        # a wall-clock step an hour forward must not touch the age
+        skewed = dataclasses.replace(served, loaded_unix=time.time() + 3600)
+        assert skewed.age_seconds(now_monotonic=basis + 5.0) == 5.0
+        assert 0.0 <= skewed.age_seconds() < 60.0
+
+    def test_server_reports_monotonic_age(self, tmp_path):
+        path = tmp_path / "model.json"
+        write_model(path, build_model(SETS_A, "a"))
+        with serve_in_thread(path, poll_seconds=5.0) as handle:
+            _, first = request_json(handle.address, "GET", "/model")
+            assert first["model_age_seconds"] >= 0.0
+            time.sleep(0.05)
+            _, second = request_json(handle.address, "GET", "/model")
+            assert second["model_age_seconds"] > first["model_age_seconds"]
+            _, health = request_json(handle.address, "GET", "/healthz")
+            assert health["model_age_seconds"] >= 0.0

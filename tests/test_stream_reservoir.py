@@ -1,0 +1,153 @@
+"""The online reservoir: exact batch equivalence + inclusion uniformity.
+
+Two layers of evidence that :class:`OnlineReservoir` is Vitter's
+Algorithm X and nothing else:
+
+* **draw-for-draw equivalence** -- for the same seed the online state
+  machine holds the *element-identical* sample the batch
+  :func:`reservoir_sample_skip` returns over the concatenated stream,
+  no matter how arrivals are chunked across ``extend`` calls and no
+  matter how often ``sample()`` snapshots are taken in between
+  (snapshots must never perturb the draw sequence -- that is exactly
+  what a refit does mid-stream);
+* **chi-square inclusion frequency** -- mirroring the existing
+  Algorithm X vs R test: as the stream grows past several refit
+  boundaries, the sample held at *each* boundary stays uniform over
+  the prefix seen so far.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import reservoir_sample_skip
+from repro.stream.reservoir import OnlineReservoir
+
+
+def chunked(items, sizes):
+    """Split ``items`` into chunks of the given sizes (last chunk = rest)."""
+    out, start = [], 0
+    for size in sizes:
+        out.append(items[start : start + size])
+        start += size
+        if start >= len(items):
+            break
+    if start < len(items):
+        out.append(items[start:])
+    return out
+
+
+class TestBatchEquivalence:
+    @given(
+        n=st.integers(min_value=0, max_value=400),
+        s=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**16),
+        sizes=st.lists(st.integers(min_value=1, max_value=37), max_size=30),
+        snapshot_every=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_element_identical_to_batch_under_any_chunking(
+        self, n, s, seed, sizes, snapshot_every
+    ):
+        data = list(range(n))
+        batch_items, batch_idx = reservoir_sample_skip(
+            data, s, rng=random.Random(seed)
+        )
+        reservoir = OnlineReservoir(s, rng=random.Random(seed))
+        for chunk_no, chunk in enumerate(chunked(data, sizes)):
+            reservoir.extend(chunk)
+            if snapshot_every and chunk_no % snapshot_every == 0:
+                reservoir.sample()  # a refit reading mid-stream: no rng effect
+        items, indices = reservoir.sample()
+        assert items == batch_items
+        assert indices == batch_idx
+        assert reservoir.seen == n
+
+    def test_item_by_item_equals_one_extend(self):
+        data = list(range(500))
+        one = OnlineReservoir(20, rng=9)
+        one.extend(data)
+        per = OnlineReservoir(20, rng=9)
+        for item in data:
+            per.add(item)
+        assert one.sample() == per.sample()
+
+    def test_short_stream_returns_everything(self):
+        reservoir = OnlineReservoir(10, rng=0)
+        reservoir.extend("abc")
+        assert not reservoir.full
+        assert reservoir.sample() == (["a", "b", "c"], [0, 1, 2])
+
+    def test_sample_returns_copies(self):
+        reservoir = OnlineReservoir(5, rng=0)
+        reservoir.extend(range(100))
+        items, _ = reservoir.sample()
+        items.append("junk")
+        assert len(reservoir) == 5
+        assert reservoir.sample()[0] != items
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineReservoir(0)
+
+
+class TestInclusionFrequency:
+    def test_uniform_inclusion_across_refit_boundaries(self):
+        """Chi-square at every boundary of a stream fed in four segments.
+
+        The reservoir is read (as a refit would) at n=20, 60, 140, 260;
+        at each boundary every prefix item must have been included with
+        equal frequency.  Statistic threshold matches the existing
+        sampling tests: generously above the 99.9th percentile of the
+        relevant chi-square distributions, far below what a biased
+        sampler produces.
+        """
+        s = 6
+        boundaries = [20, 60, 140, 260]
+        trials = 2000
+        counts = {b: [0] * b for b in boundaries}
+        for trial in range(trials):
+            reservoir = OnlineReservoir(s, rng=random.Random(10_000 + trial))
+            fed = 0
+            for boundary in boundaries:
+                reservoir.extend(range(fed, boundary))
+                fed = boundary
+                _, indices = reservoir.sample()
+                for index in indices:
+                    counts[boundary][index] += 1
+        for boundary in boundaries:
+            expected = trials * s / boundary
+            statistic = sum(
+                (observed - expected) ** 2 / expected
+                for observed in counts[boundary]
+            )
+            # df = boundary - 1 ranges 19..259; 45 clears df=19's 99.9th
+            # percentile and the per-df thresholds below scale with df
+            limit = 45.0 + 2.2 * boundary
+            assert statistic < limit, (
+                f"inclusion biased at boundary {boundary}: "
+                f"chi2={statistic:.1f} limit={limit:.1f}"
+            )
+
+    def test_online_matches_batch_distributionally(self):
+        """Same-seed online and batch runs agree exactly, so their
+        inclusion histograms are identical -- a cross-check that the
+        chi-square above tests the *same* distribution as the batch
+        sampler's own test."""
+        n, s, trials = 30, 5, 400
+        online_hist = [0] * n
+        batch_hist = [0] * n
+        for trial in range(trials):
+            _, batch_idx = reservoir_sample_skip(
+                range(n), s, rng=random.Random(trial)
+            )
+            reservoir = OnlineReservoir(s, rng=random.Random(trial))
+            reservoir.extend(range(n))
+            _, online_idx = reservoir.sample()
+            for i in batch_idx:
+                batch_hist[i] += 1
+            for i in online_idx:
+                online_hist[i] += 1
+        assert online_hist == batch_hist
