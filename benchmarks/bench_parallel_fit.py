@@ -10,6 +10,11 @@ other on the same clustered-basket generator as ``bench_blocked_fit``:
   vectorised pair counting).
 * ``fused:W`` -- ``fused_neighbor_links`` with W workers: one pass,
   neighbor graph never materialised.
+* ``native:W`` -- ``native_neighbor_links`` with W workers: the fused
+  pass with the block kernel and pair reduction run natively
+  (:mod:`repro.native`).  Skipped when no backend probes; the one-time
+  backend warmup (numba JIT / C compile + probe) is timed separately
+  and excluded from the steady-state numbers.
 
 On hosts exposing a single effective core the worker curve is flat and
 the speedup over the baseline is carried by the scorer and the
@@ -73,6 +78,8 @@ def run_variant(variant: str, n_clusters: int) -> dict:
     n = len(dataset)
     name, _, arg = variant.partition(":")
     workers = int(arg) if arg else 1
+    backend = None
+    warmup_s = 0.0
 
     start = time.perf_counter()
     if name == "blocked":
@@ -92,6 +99,22 @@ def run_variant(variant: str, n_clusters: int) -> dict:
         neighbors_s = time.perf_counter() - start
         links_s = 0.0
         links = fused.links
+    elif name == "native":
+        import repro.native as native_mod
+        from repro.native.links import native_neighbor_links
+
+        # one-time backend warmup (numba JIT / C compile + probe) is a
+        # per-process cost, not a per-fit one: report it separately
+        warm_start = time.perf_counter()
+        backend = native_mod.available_backend()
+        warmup_s = time.perf_counter() - warm_start
+        if backend is None:
+            raise SystemExit("no native backend available")
+        start = time.perf_counter()
+        fused = native_neighbor_links(dataset, THETA, workers=workers)
+        neighbors_s = time.perf_counter() - start
+        links_s = 0.0
+        links = fused.links
     else:
         raise SystemExit(f"unknown variant {variant!r}")
     total = neighbors_s + links_s
@@ -101,6 +124,8 @@ def run_variant(variant: str, n_clusters: int) -> dict:
         "seconds_neighbors": neighbors_s,
         "seconds_links": links_s,
         "seconds_total": total,
+        "seconds_warmup": warmup_s,
+        "backend": backend,
         "linked_pairs": links.nnz_pairs(),
         "peak_rss": peak_rss_bytes(),
     }
@@ -139,11 +164,15 @@ def format_curve(rows: list[dict], baseline: dict) -> list[str]:
 def _run_suite(
     n_clusters: int, tracer=None
 ) -> tuple[dict, list[dict]]:
+    import repro.native as native_mod
+
     variants = (
         ["blocked"]
         + [f"parallel:{w}" for w in WORKER_CURVE]
         + [f"fused:{w}" for w in WORKER_CURVE]
     )
+    if native_mod.available_backend() is not None:
+        variants += [f"native:{w}" for w in WORKER_CURVE]
     rows = [measure_traced(v, n_clusters, tracer) for v in variants]
     return rows[0], rows
 
@@ -167,12 +196,17 @@ def test_parallel_fit_smoke(benchmark, save_result, save_manifest):
     n_clusters = SMOKE_N_CLUSTERS
     from benchmarks.bench_blocked_fit import make_clustered_baskets
 
+    import repro.native as native_mod
+
     dataset = make_clustered_baskets(n_clusters)
     base = RockPipeline(
         k=n_clusters, theta=THETA, sample_size=None, seed=0
     ).fit(dataset, label_remaining=False)
+    modes = ["blocked", "parallel", "fused"]
+    if native_mod.available_backend() is not None:
+        modes.append("native")
     results = {}
-    for mode in ("blocked", "parallel", "fused"):
+    for mode in modes:
         results[mode] = RockPipeline(
             k=n_clusters, theta=THETA, sample_size=None, seed=0,
             fit_mode=mode, workers=2,
@@ -188,7 +222,7 @@ def test_parallel_fit_smoke(benchmark, save_result, save_manifest):
             [measure_traced("blocked", n_clusters, tracer)]
             + [
                 measure_traced(f"{v}:2", n_clusters, tracer)
-                for v in ("parallel", "fused")
+                for v in modes[1:]
             ],
         ),
         rounds=1,
@@ -254,6 +288,30 @@ def test_parallel_fit_scale(benchmark, save_result, save_manifest):
         "fused peak RSS exceeds the blocked baseline"
     )
 
+    native_lines = []
+    if "native:1" in by_variant:
+        # workers-matched single-core comparison: same schedule, same
+        # pool (none), only the kernels differ.  The full curve is in
+        # the table above.
+        native_speedup = (
+            by_variant["fused:1"]["seconds_total"]
+            / max(by_variant["native:1"]["seconds_total"], 1e-9)
+        )
+        # hard floor kept below the steady-state target to absorb
+        # machine noise; the measured multiple is recorded either way
+        assert native_speedup >= 3.0, (
+            f"native fit {native_speedup:.2f}x over fused at n={n}, "
+            "need >= 3x"
+        )
+        backend = by_variant["native:1"]["backend"]
+        warmup = by_variant["native:1"]["seconds_warmup"]
+        native_lines = [
+            f"native:1 vs fused:1: {native_speedup:.2f}x "
+            "(floor: >= 3x, steady-state target: >= 5x)",
+            f"native backend {backend}, one-time warmup "
+            f"{warmup:.2f}s per process (excluded from timings above)",
+        ]
+
     save_result(
         "parallel_fit",
         "\n".join([
@@ -269,6 +327,7 @@ def test_parallel_fit_scale(benchmark, save_result, save_manifest):
             "fused peak RSS <= blocked baseline: "
             f"{by_variant['fused:4']['peak_rss'] / 1024**2:.1f} MB vs "
             f"{baseline['peak_rss'] / 1024**2:.1f} MB",
+            *native_lines,
             "",
             machine_summary(),
         ]),

@@ -71,20 +71,23 @@ def _add_fit_memory_args(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument(
         "--fit-mode",
-        choices=["auto", "dense", "blocked", "parallel", "fused"],
+        choices=["auto", "dense", "blocked", "parallel", "fused", "native"],
         default="auto",
         help="coarse fit-path switch; 'parallel' fans row blocks out "
         "across --workers processes, 'fused' additionally folds link "
-        "counting into the same pass (lowest peak memory); all modes "
-        "produce identical clusters",
+        "counting into the same pass (lowest peak memory), 'native' "
+        "runs the fused pass with repro.native kernels (falls back to "
+        "fused with a warning when unavailable); all modes produce "
+        "identical clusters",
     )
     sub.add_argument(
         "--merge-method",
-        choices=["auto", "heap", "fast"],
+        choices=["auto", "heap", "fast", "native"],
         default="auto",
         help="merge-loop engine; 'heap' is the Figure 3 reference "
-        "loop, 'fast' the component-partitioned engine, 'auto' picks "
-        "fast for the built-in goodness measures; both engines "
+        "loop, 'fast' the component-partitioned engine, 'native' that "
+        "engine with repro.native component kernels, 'auto' picks "
+        "fast/native for the built-in goodness measures; all engines "
         "produce byte-identical clusters and merge history",
     )
     sub.add_argument(

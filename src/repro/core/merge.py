@@ -105,12 +105,14 @@ __all__ = [
 
 # The merge-engine switch threaded through cluster_with_links, rock(),
 # RockPipeline and the CLI.  "heap" is the Figure 3 reference loop;
-# "fast" is this module; "auto" picks fast whenever the goodness
-# measure has a vectorized kernel (both built-ins do) and falls back to
-# the reference for custom callables, whose evaluation order the fast
-# engine cannot promise to reproduce.  All methods produce identical
-# results for the built-in measures.
-MERGE_METHODS = ("auto", "heap", "fast")
+# "fast" is this module; "native" is this module with the component
+# inner loop handed to a repro.native backend kernel; "auto" picks
+# native when repro.native opts in (numba installed or REPRO_NATIVE=1),
+# else fast whenever the goodness measure has a vectorized kernel (both
+# built-ins do), and falls back to the reference for custom callables,
+# whose evaluation order the engines cannot promise to reproduce.  All
+# methods produce identical results for the built-in measures.
+MERGE_METHODS = ("auto", "heap", "fast", "native")
 
 # don't spin up a process pool for trivially small merge problems
 _PARALLEL_MIN_PAIRS = 2048
@@ -120,7 +122,15 @@ def resolve_merge_method(
     merge_method: str,
     goodness_fn: GoodnessFunction = normalized_goodness,
 ) -> str:
-    """Normalise a ``merge_method`` argument to ``"heap"`` or ``"fast"``."""
+    """Normalise ``merge_method`` to ``"heap"``, ``"fast"`` or ``"native"``.
+
+    A forced ``"native"`` that cannot run (custom goodness callable, or
+    no working backend) degrades with a single :class:`RuntimeWarning`
+    -- to ``"heap"`` for callables (matching ``"auto"``'s routing, the
+    engines cannot reproduce a callable's evaluation order) and to
+    ``"fast"`` otherwise.  ``"auto"`` never warns: it only promotes to
+    native when :func:`repro.native.auto_native` opts in.
+    """
     if merge_method not in MERGE_METHODS:
         raise ValueError(
             f"merge_method must be one of {MERGE_METHODS}, got {merge_method!r}"
@@ -128,7 +138,32 @@ def resolve_merge_method(
     if merge_method == "auto":
         if merge_kernel_for(goodness_fn, 0.0) is None:
             return "heap"
+        from repro.native import auto_native, native_available
+
+        if auto_native() and native_available():
+            return "native"
         return "fast"
+    if merge_method == "native":
+        import warnings
+
+        if merge_kernel_for(goodness_fn, 0.0) is None:
+            warnings.warn(
+                "merge_method='native' does not support custom goodness "
+                "callables; falling back to the reference heap loop",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return "heap"
+        from repro.native import native_available
+
+        if not native_available():
+            warnings.warn(
+                "merge_method='native' requested but no native backend is "
+                "available; falling back to the fast merge engine",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return "fast"
     return merge_method
 
 
@@ -178,6 +213,7 @@ def fast_cluster_with_links(
     goodness_fn: GoodnessFunction = normalized_goodness,
     workers: int | str | None = None,
     registry: Any | None = None,
+    engine: str = "fast",
 ) -> RockResult:
     """Component-partitioned fast equivalent of
     :func:`repro.core.rock.cluster_with_links` (same contract, same
@@ -188,6 +224,12 @@ def fast_cluster_with_links(
     assumed picklable); ``registry`` receives
     ``fit.cluster.components`` / ``fit.cluster.heap_ops`` counters,
     with worker-side deltas merged in on the parallel path.
+
+    ``engine="native"`` runs each component's inner loop on a
+    :mod:`repro.native` backend kernel instead of the Python loop
+    (built-in goodness only; silently reverts to the Python engines
+    when no backend is available -- callers resolve and warn up front
+    via :func:`resolve_merge_method`).
     """
     if k < 1:
         raise ValueError("k must be at least 1")
@@ -208,6 +250,21 @@ def fast_cluster_with_links(
         registry.inc("fit.cluster.components", len(problems))
 
     kernel = merge_kernel_for(goodness_fn, f_theta, n_max=n)
+    if engine == "native" and kernel is not None:
+        from repro.native import get_kernels
+        from repro.native.merge import (
+            native_component_streams,
+            native_merge_supported,
+        )
+
+        backend = get_kernels()
+        if backend is not None and native_merge_supported(kernel):
+            streams = native_component_streams(
+                problems, kernel, backend, registry=registry
+            )
+            return _replay_streams(
+                cluster_list, problems, streams, k, n, registry
+            )
     if _use_parallel(problems, counts.size, kernel, workers):
         from repro.parallel.merge import parallel_component_streams
         from repro.parallel.pool import resolve_workers

@@ -78,6 +78,12 @@ class PipelineResult:
         The similarity function the run used (``None`` = default
         Jaccard); recorded so persistence can round-trip the
         configuration.
+    backends:
+        Which implementation actually ran each phase, e.g.
+        ``{"fit": "native:cext", "merge": "native:cext"}`` or
+        ``{"fit": "fused", "merge": "fast"}`` -- the resolved backends,
+        not the requested modes, so benchmarks and model metadata can
+        tell a silent fallback from the real thing.
     """
 
     labels: np.ndarray
@@ -88,6 +94,7 @@ class PipelineResult:
     timings: dict[str, float] = field(default_factory=dict)
     labeling_sets: list[list[Any]] | None = None
     similarity: SimilarityFunction | None = None
+    backends: dict[str, str] = field(default_factory=dict)
 
     @property
     def n_clusters(self) -> int:
@@ -145,11 +152,15 @@ class RockPipeline:
         kernels; ``"fused"`` runs the one-pass fused neighbor+link
         kernel (the neighbor graph is never materialised -- isolated
         points are pruned from the fused degree vector and the link
-        table is subset exactly).  ``fused`` requires
+        table is subset exactly); ``"native"`` is the fused pass with
+        :mod:`repro.native` block kernels, degrading to ``"fused"``
+        with a single warning when no backend or an unsupported
+        configuration rules it out.  ``fused``/``native`` require
         ``min_neighbors <= 1``; with a stricter pruning threshold the
-        pipeline silently uses the ``parallel`` kernels instead, since
-        dropping points of positive degree changes link counts and the
-        exact subset shortcut no longer applies.  All modes produce
+        pipeline uses the ``parallel`` kernels instead (silently for
+        ``fused``, with one warning for ``native``), since dropping
+        points of positive degree changes link counts and the exact
+        subset shortcut no longer applies.  All modes produce
         identical results (property-tested).
     workers:
         Process count for the parallel/fused kernels and the fast
@@ -158,10 +169,12 @@ class RockPipeline:
     merge_method:
         Engine for the Figure 3 merge phase: ``"heap"`` (the reference
         loop), ``"fast"`` (the component-partitioned array-backed
-        engine of :mod:`repro.core.merge`), or ``"auto"`` (default:
-        fast for built-in goodness measures, heap for custom
-        callables).  Byte-identical results either way
-        (property-tested).
+        engine of :mod:`repro.core.merge`), ``"native"`` (that engine
+        with :mod:`repro.native` component kernels, degrading with one
+        warning when unavailable), or ``"auto"`` (default: fast -- or
+        native when :mod:`repro.native` opts in -- for built-in
+        goodness measures, heap for custom callables).  Byte-identical
+        results either way (property-tested).
     seed:
         Seed for sampling and labeling-set draws; runs are fully
         deterministic for a fixed seed.
@@ -272,10 +285,10 @@ class RockPipeline:
             workers=workers,
             merge_method=self.merge_method,
             resumed=initial_clusters is not None,
-        ):
+        ) as root_span:
             return self._fit_phases(
                 points, n_total, label_remaining, rng, tracer,
-                initial_clusters,
+                initial_clusters, root_span,
             )
 
     def _fit_phases(
@@ -286,9 +299,19 @@ class RockPipeline:
         rng: random.Random,
         tracer: Tracer,
         initial_clusters: Sequence[Sequence[int]] | None = None,
+        root_span: Any | None = None,
     ) -> PipelineResult:
         registry = tracer.registry
         timings: dict[str, float] = {}
+        backends: dict[str, str] = {}
+
+        # Resolve the merge engine once up front: the weeding pause
+        # calls cluster_with_links twice, and resolving here means a
+        # forced-but-unavailable "native" warns exactly once (the
+        # resolved value re-resolves to itself, warning-free).
+        from repro.core.merge import resolve_merge_method
+
+        merge_method = resolve_merge_method(self.merge_method, self.goodness_fn)
 
         # -- 1. draw random sample ----------------------------------------
         with tracer.span("sample") as span:
@@ -303,7 +326,65 @@ class RockPipeline:
 
         # -- 2 + 3. neighbors, isolated-point pruning, links ---------------
         min_neighbors = max(self.min_neighbors, 0)
-        if self.fit_mode == "fused" and min_neighbors <= 1:
+        native_fit = False
+        if min_neighbors <= 1:
+            if self.fit_mode == "native":
+                from repro.native.links import native_fit_supported
+
+                native_fit, reason = native_fit_supported(
+                    sample_points, self.theta, self.similarity
+                )
+                if not native_fit:
+                    import warnings
+
+                    warnings.warn(
+                        f"fit_mode='native' unavailable ({reason}); "
+                        "falling back to the fused kernel",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+            elif (
+                self.fit_mode == "auto"
+                and self.neighbor_method == "auto"
+                and self.link_method == "auto"
+            ):
+                # auto promotion: only when repro.native opts in (numba
+                # installed or REPRO_NATIVE=1) and only where auto
+                # would leave the dense path anyway -- small inputs
+                # keep the dense kernel, and a checkout without the
+                # [native] extra changes nothing.
+                from repro.core.neighbors import (
+                    DEFAULT_MEMORY_BUDGET,
+                    dense_similarity_bytes,
+                )
+                from repro.native import auto_native
+
+                budget = (
+                    DEFAULT_MEMORY_BUDGET
+                    if self.memory_budget is None
+                    else self.memory_budget
+                )
+                if (
+                    dense_similarity_bytes(len(sample_points)) > budget
+                    and auto_native()
+                ):
+                    from repro.native.links import native_fit_supported
+
+                    native_fit, _ = native_fit_supported(
+                        sample_points, self.theta, self.similarity
+                    )
+        elif self.fit_mode == "native":
+            import warnings
+
+            warnings.warn(
+                "fit_mode='native' requires min_neighbors <= 1; falling "
+                "back to the parallel kernels",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        if native_fit or (
+            self.fit_mode in ("fused", "native") and min_neighbors <= 1
+        ):
             # one-pass fused kernel: the neighbor graph never exists.
             # Isolated points are degree-0, appear in no neighbor list
             # and therefore in no pair increment, so subsetting the
@@ -311,13 +392,30 @@ class RockPipeline:
             from repro.parallel.links import fused_neighbor_links
 
             with tracer.span(
-                "neighbors", fused=True, n=len(sample_points)
+                "neighbors", fused=True, native=native_fit,
+                n=len(sample_points),
             ) as span:
-                fused = fused_neighbor_links(
-                    sample_points, self.theta, similarity=self.similarity,
-                    workers=self.workers, memory_budget=self.memory_budget,
-                    registry=registry,
-                )
+                if native_fit:
+                    from repro.native import available_backend
+                    from repro.native.links import native_neighbor_links
+
+                    fused = native_neighbor_links(
+                        sample_points, self.theta,
+                        similarity=self.similarity,
+                        workers=self.workers,
+                        memory_budget=self.memory_budget,
+                        registry=registry,
+                    )
+                    backends["fit"] = f"native:{available_backend()}"
+                else:
+                    fused = fused_neighbor_links(
+                        sample_points, self.theta,
+                        similarity=self.similarity,
+                        workers=self.workers,
+                        memory_budget=self.memory_budget,
+                        registry=registry,
+                    )
+                    backends["fit"] = "fused"
                 kept = np.flatnonzero(fused.degrees >= min_neighbors)
                 discarded = np.flatnonzero(fused.degrees < min_neighbors)
                 outlier_sample_positions = list(discarded)
@@ -340,11 +438,12 @@ class RockPipeline:
                 neighbor_method = self.neighbor_method
                 link_method = self.link_method
             else:
-                # "fused" with min_neighbors > 1 lands here too: pruning
-                # positive-degree points changes link counts, so the
-                # subset shortcut is invalid and the parallel kernels
+                # "fused"/"native" with min_neighbors > 1 land here too:
+                # pruning positive-degree points changes link counts, so
+                # the subset shortcut is invalid and the parallel kernels
                 # (identical output, two passes) take over.
                 neighbor_method, link_method = resolve_fit_mode(self.fit_mode)
+            backends["fit"] = neighbor_method
             with tracer.span(
                 "neighbors", method=neighbor_method, n=len(sample_points)
             ) as span:
@@ -378,8 +477,14 @@ class RockPipeline:
             if initial_clusters is None
             else _map_initial_clusters(initial_clusters, sampled, kept, n_total)
         )
+        if merge_method == "native":
+            from repro.native import available_backend
+
+            backends["merge"] = f"native:{available_backend()}"
+        else:
+            backends["merge"] = merge_method
         with tracer.span(
-            "cluster", k=self.k, merge_method=self.merge_method
+            "cluster", k=self.k, merge_method=merge_method
         ) as span:
             f_theta = self.f(self.theta)
             if self.min_cluster_size is not None:
@@ -388,7 +493,7 @@ class RockPipeline:
                     links, k=pause_at, f_theta=f_theta,
                     initial_clusters=starting_partition,
                     goodness_fn=self.goodness_fn,
-                    merge_method=self.merge_method, workers=self.workers,
+                    merge_method=merge_method, workers=self.workers,
                     registry=registry,
                 )
                 survivors, weeded = weed_small_clusters(
@@ -406,7 +511,7 @@ class RockPipeline:
                     f_theta=f_theta,
                     initial_clusters=survivors,
                     goodness_fn=self.goodness_fn,
-                    merge_method=self.merge_method, workers=self.workers,
+                    merge_method=merge_method, workers=self.workers,
                     registry=registry,
                 )
             else:
@@ -414,11 +519,24 @@ class RockPipeline:
                     links, k=self.k, f_theta=f_theta,
                     initial_clusters=starting_partition,
                     goodness_fn=self.goodness_fn,
-                    merge_method=self.merge_method, workers=self.workers,
+                    merge_method=merge_method, workers=self.workers,
                     registry=registry,
                 )
             registry.inc("fit.cluster.merges", len(result.merges))
         timings["cluster"] = span.wall_seconds
+
+        # the fit.backend gauges (numeric) and root-span attrs (strings)
+        # record which path actually ran, fallbacks included
+        registry.set_gauge(
+            "fit.backend.native_fit", int(backends.get("fit", "").startswith("native"))
+        )
+        registry.set_gauge(
+            "fit.backend.native_merge",
+            int(backends["merge"].startswith("native")),
+        )
+        if root_span is not None:
+            root_span.attrs["fit_backend"] = backends.get("fit")
+            root_span.attrs["merge_backend"] = backends["merge"]
 
         # translate pruned-graph indices -> original dataset indices
         clusters_original: list[list[int]] = [
@@ -482,6 +600,7 @@ class RockPipeline:
             timings=timings,
             labeling_sets=labeling_sets,
             similarity=self.similarity,
+            backends=backends,
         )
 
     def to_model(self, result: PipelineResult, points: Any | None = None):

@@ -136,7 +136,8 @@ def cluster_with_links(
         raise ValueError("k must be at least 1")
     from repro.core.merge import fast_cluster_with_links, resolve_merge_method
 
-    if resolve_merge_method(merge_method, goodness_fn) == "fast":
+    resolved = resolve_merge_method(merge_method, goodness_fn)
+    if resolved in ("fast", "native"):
         return fast_cluster_with_links(
             links,
             k=k,
@@ -145,6 +146,7 @@ def cluster_with_links(
             goodness_fn=goodness_fn,
             workers=workers,
             registry=registry,
+            engine=resolved,
         )
     n = links.n
     if initial_clusters is None:
@@ -226,16 +228,18 @@ def cluster_with_links(
 # The coarse fit-path switch threaded through rock(), RockPipeline and
 # the CLI.  "auto" defers to the finer neighbor_method / link_method
 # knobs (and the memory-budget heuristic); the explicit modes force one
-# of the four kernels end to end.  All modes produce identical results.
-FIT_MODES = ("auto", "dense", "blocked", "parallel", "fused")
+# of the kernels end to end ("native" is the fused kernel with
+# repro.native block scoring).  All modes produce identical results.
+FIT_MODES = ("auto", "dense", "blocked", "parallel", "fused", "native")
 
 
 def resolve_fit_mode(fit_mode: str) -> tuple[str, str]:
     """Map a fit mode to its ``(neighbor_method, link_method)`` pair.
 
-    ``fused`` is not expressible as a method pair -- callers branch to
-    :func:`repro.parallel.links.fused_neighbor_links` before consulting
-    this mapping -- but mapping it to the parallel pair keeps a single
+    ``fused`` and ``native`` are not expressible as method pairs --
+    callers branch to :func:`repro.parallel.links.fused_neighbor_links`
+    / :func:`repro.native.links.native_neighbor_links` before consulting
+    this mapping -- but mapping them to the parallel pair keeps a single
     safe fallback for callers that cannot fuse (e.g. weighted links).
     """
     if fit_mode not in FIT_MODES:
@@ -248,6 +252,7 @@ def resolve_fit_mode(fit_mode: str) -> tuple[str, str]:
         "blocked": ("blocked", "auto"),
         "parallel": ("parallel", "parallel"),
         "fused": ("parallel", "parallel"),
+        "native": ("parallel", "parallel"),
     }[fit_mode]
 
 
@@ -286,7 +291,9 @@ def rock(
     force those kernels; ``"fused"`` runs the one-pass fused
     neighbor+link kernel of
     :func:`repro.parallel.links.fused_neighbor_links` (never
-    materialising the neighbor graph).  ``workers`` (int, ``"auto"``,
+    materialising the neighbor graph); ``"native"`` is the fused pass
+    with :mod:`repro.native` block kernels, degrading to ``"fused"``
+    with one warning when unsupported.  ``workers`` (int, ``"auto"``,
     or ``None`` for serial) sets the process count for the parallel
     and fused kernels.  Every mode yields identical clusters.  For the
     full sample -> prune -> cluster -> weed -> label pipeline of
@@ -294,9 +301,11 @@ def rock(
 
     ``merge_method`` is the analogous switch over the merge phase:
     ``"heap"`` forces the Figure 3 reference loop, ``"fast"`` the
-    component-partitioned engine of :mod:`repro.core.merge`, and
-    ``"auto"`` (default) picks fast whenever the goodness measure is a
-    built-in.  Both produce byte-identical results; the fast engine
+    component-partitioned engine of :mod:`repro.core.merge`,
+    ``"native"`` that engine with :mod:`repro.native` component
+    kernels, and ``"auto"`` (default) picks fast (or native when
+    :mod:`repro.native` opts in) whenever the goodness measure is a
+    built-in.  All produce byte-identical results; the fast engine
     additionally fans components out across ``workers``.
 
     ``tracer`` is an optional :class:`~repro.obs.trace.Tracer`:
@@ -329,14 +338,39 @@ def rock(
         with tracer.span("links", weighted=True):
             links = LinkTable.from_dense(weighted_link_matrix(graph, sim))
             registry.inc("fit.links.pairs", links.nnz_pairs())
-    elif fit_mode == "fused":
+    elif fit_mode in ("fused", "native"):
         from repro.parallel.links import fused_neighbor_links
 
-        with tracer.span("neighbors", fused=True, n=len(points)):
-            fused = fused_neighbor_links(
-                points, theta, similarity=similarity, workers=workers,
-                memory_budget=memory_budget, registry=registry,
+        run_native = False
+        if fit_mode == "native":
+            from repro.native.links import native_fit_supported
+
+            run_native, reason = native_fit_supported(
+                points, theta, similarity
             )
+            if not run_native:
+                import warnings
+
+                warnings.warn(
+                    f"fit_mode='native' unavailable ({reason}); "
+                    "falling back to the fused kernel",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        with tracer.span("neighbors", fused=True, native=run_native,
+                         n=len(points)):
+            if run_native:
+                from repro.native.links import native_neighbor_links
+
+                fused = native_neighbor_links(
+                    points, theta, similarity=similarity, workers=workers,
+                    memory_budget=memory_budget, registry=registry,
+                )
+            else:
+                fused = fused_neighbor_links(
+                    points, theta, similarity=similarity, workers=workers,
+                    memory_budget=memory_budget, registry=registry,
+                )
         with tracer.span("links", fused=True):
             links = fused.links
             registry.inc("fit.links.pairs", links.nnz_pairs())

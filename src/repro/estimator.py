@@ -61,7 +61,9 @@ class RockClusterer:
         min_cluster_size: int | None = None,
         outlier_multiple: float = 3.0,
         labeling_fraction: float = 0.25,
+        fit_mode: str = "auto",
         merge_method: str = "auto",
+        workers: int | str | None = None,
         random_state: int | None = None,
     ) -> None:
         self.n_clusters = n_clusters
@@ -73,7 +75,9 @@ class RockClusterer:
         self.min_cluster_size = min_cluster_size
         self.outlier_multiple = outlier_multiple
         self.labeling_fraction = labeling_fraction
+        self.fit_mode = fit_mode
         self.merge_method = merge_method
+        self.workers = workers
         self.random_state = random_state
 
     # -- sklearn protocol ---------------------------------------------------
@@ -88,7 +92,9 @@ class RockClusterer:
             "min_cluster_size": self.min_cluster_size,
             "outlier_multiple": self.outlier_multiple,
             "labeling_fraction": self.labeling_fraction,
+            "fit_mode": self.fit_mode,
             "merge_method": self.merge_method,
+            "workers": self.workers,
             "random_state": self.random_state,
         }
 
@@ -116,7 +122,9 @@ class RockClusterer:
             min_cluster_size=self.min_cluster_size,
             outlier_multiple=self.outlier_multiple,
             labeling_fraction=self.labeling_fraction,
+            fit_mode=self.fit_mode,
             merge_method=self.merge_method,
+            workers=self.workers,
             seed=self.random_state,
         )
         result = pipeline.fit(points)

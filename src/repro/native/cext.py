@@ -1,0 +1,262 @@
+"""Build-on-demand C tier for :mod:`repro.native`.
+
+Compiles ``kernels.c`` (shipped next to this module) with the system C
+compiler the first time it is needed and binds the three kernels
+through :mod:`ctypes`.  The shared object is cached under
+``$REPRO_NATIVE_CACHE`` (default ``$XDG_CACHE_HOME/repro-native``)
+keyed by a hash of the source, the compiler, and the flags, so every
+later import is a single ``dlopen``.  The build is atomic (tmp file +
+``os.replace``) and safe under concurrent processes.
+
+Any failure -- no compiler, sandboxed cache dir, bad toolchain --
+raises out of :func:`load_kernels` and is absorbed by the probe in
+:mod:`repro.native`, which simply marks the tier unavailable.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from types import SimpleNamespace
+from typing import Any
+
+import numpy as np
+
+_SOURCE = Path(__file__).with_name("kernels.c")
+
+# -O2 keeps IEEE semantics; -ffast-math would break bit-identicality
+# with the numpy reference paths and must never appear here.
+_CFLAGS = ("-O3", "-fPIC", "-shared", "-std=c99")
+
+_i64_p = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_i32_p = np.ctypeslib.ndpointer(dtype=np.int32, flags="C_CONTIGUOUS")
+_f64_p = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-native"
+
+
+def _compiler() -> str:
+    for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if name and shutil.which(name):
+            return name
+    raise RuntimeError("no C compiler found")
+
+
+def _build(source: Path, cc: str) -> Path:
+    text = source.read_bytes()
+    key = hashlib.sha256(
+        b"\x00".join([text, cc.encode(), " ".join(_CFLAGS).encode()])
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    out = cache / f"kernels-{key}.so"
+    if out.exists():
+        return out
+    cache.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
+    os.close(fd)
+    try:
+        subprocess.run(
+            [cc, *_CFLAGS, "-o", tmp, str(source), "-lm"],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(tmp, out)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return out
+
+
+def _bind(lib: ctypes.CDLL) -> None:
+    lib.score_block.restype = ctypes.c_longlong
+    lib.score_block.argtypes = [
+        _i64_p, _i32_p, _i64_p, _i32_p, _i32_p,
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+        ctypes.c_double, ctypes.c_int64,
+        _i32_p, _i32_p, _i64_p, _i32_p, ctypes.c_int64,
+    ]
+    lib.mirror_neighbors.restype = ctypes.c_longlong
+    lib.mirror_neighbors.argtypes = [
+        _i64_p, _i32_p, ctypes.c_int64, _i64_p, _i32_p,
+    ]
+    lib.pair_count_reduce.restype = ctypes.c_longlong
+    lib.pair_count_reduce.argtypes = [
+        _i64_p, _i32_p, ctypes.c_int64, ctypes.c_int64,
+        _i64_p, _i64_p, ctypes.c_int64,
+    ]
+    lib.merge_component.restype = ctypes.c_longlong
+    lib.merge_component.argtypes = [
+        ctypes.c_int64, _i64_p,
+        ctypes.c_int64, _i64_p, _i64_p, _f64_p,
+        _f64_p, ctypes.c_int64, ctypes.c_int64,
+        _i64_p, _i64_p, _f64_p, _i64_p,
+        ctypes.POINTER(ctypes.c_int64),
+    ]
+
+
+def _as_i64(a: Any) -> np.ndarray:
+    return np.ascontiguousarray(a, dtype=np.int64)
+
+
+def _as_i32(a: Any) -> np.ndarray:
+    return np.ascontiguousarray(a, dtype=np.int32)
+
+
+def _as_f64(a: Any) -> np.ndarray:
+    return np.ascontiguousarray(a, dtype=np.float64)
+
+
+class _CextKernels:
+    """The uniform three-kernel interface on top of the bound library."""
+
+    name = "cext"
+
+    def __init__(self, lib: ctypes.CDLL, so_path: Path, cc: str) -> None:
+        self._lib = lib
+        self.info = {"so": str(so_path), "cc": cc}
+
+    def score_block(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        t_indptr: np.ndarray,
+        t_indices: np.ndarray,
+        sizes: np.ndarray,
+        n: int,
+        start: int,
+        stop: int,
+        theta: float,
+        overlap: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        indptr = _as_i64(indptr)
+        indices = _as_i32(indices)
+        t_indptr = _as_i64(t_indptr)
+        t_indices = _as_i32(t_indices)
+        sizes = _as_i32(sizes)
+        rows = stop - start
+        acc = np.zeros(n, dtype=np.int32)
+        touched = np.empty(n, dtype=np.int32)
+        out_indptr = np.empty(rows + 1, dtype=np.int64)
+        # average-degree guess; the kernel reports the exact size when
+        # this is short and we retry once
+        cap = max(int(indices.size) * max(rows, 1) // max(n, 1) + 64, 256)
+        while True:
+            out_indices = np.empty(cap, dtype=np.int32)
+            written = self._lib.score_block(
+                indptr, indices, t_indptr, t_indices, sizes,
+                n, start, stop, float(theta), int(overlap),
+                acc, touched, out_indptr, out_indices, cap,
+            )
+            if written >= 0:
+                return out_indptr, out_indices[:written]
+            cap = -written
+
+    def mirror_neighbors(
+        self,
+        upper_indptr: np.ndarray,
+        upper_indices: np.ndarray,
+        n: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        upper_indptr = _as_i64(upper_indptr)
+        upper_indices = _as_i32(upper_indices)
+        full_indptr = np.empty(n + 1, dtype=np.int64)
+        full_indices = np.empty(2 * upper_indices.size, dtype=np.int32)
+        total = self._lib.mirror_neighbors(
+            upper_indptr, upper_indices, n, full_indptr, full_indices,
+        )
+        if total < 0:
+            raise MemoryError("mirror_neighbors: allocation failed")
+        return full_indptr, full_indices
+
+    def pair_count_reduce(
+        self,
+        list_indptr: np.ndarray,
+        list_indices: np.ndarray,
+        n: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        list_indptr = _as_i64(list_indptr)
+        list_indices = _as_i32(list_indices)
+        lens = np.diff(list_indptr)
+        total = int((lens * (lens - 1) // 2).sum())
+        codes = np.empty(total, dtype=np.int64)
+        counts = np.empty(total, dtype=np.int64)
+        unique = self._lib.pair_count_reduce(
+            list_indptr, list_indices, len(list_indptr) - 1, n,
+            codes, counts, total,
+        )
+        if unique < 0:
+            raise MemoryError("pair_count_reduce: allocation failed")
+        return codes[:unique].copy(), counts[:unique].copy()
+
+    def merge_component(
+        self,
+        sizes: np.ndarray,
+        pair_lo: np.ndarray,
+        pair_hi: np.ndarray,
+        pair_count: np.ndarray,
+        ptable: np.ndarray,
+        naive: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+        sizes = _as_i64(sizes)
+        pair_lo = _as_i64(pair_lo)
+        pair_hi = _as_i64(pair_hi)
+        pair_count = _as_f64(pair_count)
+        ptable = _as_f64(ptable)
+        s = int(sizes.size)
+        cap = max(s - 1, 1)
+        out_left = np.empty(cap, dtype=np.int64)
+        out_right = np.empty(cap, dtype=np.int64)
+        out_goodness = np.empty(cap, dtype=np.float64)
+        out_sizes = np.empty(cap, dtype=np.int64)
+        heap_ops = ctypes.c_int64(0)
+        n_merges = self._lib.merge_component(
+            s, sizes, int(pair_lo.size), pair_lo, pair_hi, pair_count,
+            ptable, int(ptable.size), int(naive),
+            out_left, out_right, out_goodness, out_sizes,
+            ctypes.byref(heap_ops),
+        )
+        if n_merges < 0:
+            raise MemoryError("merge_component: allocation failed")
+        return (
+            out_left[:n_merges].copy(),
+            out_right[:n_merges].copy(),
+            out_goodness[:n_merges].copy(),
+            out_sizes[:n_merges].copy(),
+            int(heap_ops.value),
+        )
+
+
+def load_kernels() -> Any:
+    """Compile (or reuse) the shared object and bind the kernels.
+
+    Raises on any failure; the caller (:func:`repro.native.get_kernels`)
+    treats that as "tier unavailable".
+    """
+    if sys.platform == "win32":  # ctypes build path is POSIX-only
+        raise RuntimeError("cext tier not supported on Windows")
+    cc = _compiler()
+    so_path = _build(_SOURCE, cc)
+    lib = ctypes.CDLL(str(so_path))
+    _bind(lib)
+    return _CextKernels(lib, so_path, cc)
+
+
+def kernels_namespace(**kwargs: Any) -> SimpleNamespace:  # pragma: no cover
+    return SimpleNamespace(**kwargs)

@@ -1,0 +1,605 @@
+"""Numba tier for :mod:`repro.native`.
+
+``@njit`` ports of the three kernels in ``kernels.c``, compiled lazily
+on first call (``cache=True`` persists the machine code across
+processes).  Importing this module without numba installed raises
+``ImportError``, which the probe in :mod:`repro.native` treats as
+"tier unavailable"; a numba that imports but miscompiles is caught by
+the probe's smoke test the same way.
+
+Bit-identicality notes mirror ``kernels.c``: IEEE double arithmetic
+throughout (``fastmath`` stays off), the goodness denominator keeps the
+reference association ``(P[lo+hi] - P[lo]) - P[hi]``, merged link
+counts add u's contribution first, and heap ties break on the partner
+id exactly like Python's ``(float, int)`` tuple comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+from numba import njit  # noqa: F401  (ImportError here == tier unavailable)
+from numba.typed import List
+
+import numba as _numba
+
+_JIT = {"cache": True, "fastmath": False}
+
+
+# ------------------------------------------------------------------
+# 1. fused block scoring
+# ------------------------------------------------------------------
+
+@njit(**_JIT)
+def _upper_bound(arr, lo, hi, key):
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if arr[mid] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@njit(**_JIT)
+def _score_block(
+    indptr, indices, t_indptr, t_indices, sizes,
+    n, start, stop, theta, overlap,
+    acc, touched, out_indptr, out_indices, cap,
+):
+    # upper-triangle scoring (j > row): the transpose lists are
+    # ascending, so a binary search jumps to each item's suffix;
+    # mirror_neighbors rebuilds the full lists afterwards
+    total = np.int64(0)
+    overflow = False
+    out_indptr[0] = 0
+    for row in range(start, stop):
+        n_touched = 0
+        for p in range(indptr[row], indptr[row + 1]):
+            item = indices[p]
+            q = _upper_bound(
+                t_indices, t_indptr[item], t_indptr[item + 1], row
+            )
+            for q2 in range(q, t_indptr[item + 1]):
+                j = t_indices[q2]
+                if acc[j] == 0:
+                    touched[n_touched] = j
+                    n_touched += 1
+                acc[j] += 1
+        sa = sizes[row]
+        row_deg = 0
+        base = total
+        for t in range(n_touched):
+            j = touched[t]
+            inter = acc[j]
+            acc[j] = 0
+            sb = sizes[j]
+            if overlap:
+                denom = float(min(sa, sb))
+                if float(inter) < theta * denom - 1e-6:
+                    continue
+            else:
+                denom = float(sa + sb - inter)
+                if (1.0 + theta) * float(inter) < theta * float(sa + sb) - 1e-6:
+                    continue
+            if float(inter) / denom >= theta:
+                if not overflow and base + row_deg < cap:
+                    out_indices[base + row_deg] = j
+                row_deg += 1
+        if not overflow and base + row_deg > cap:
+            overflow = True
+        if not overflow and row_deg > 1:
+            out_indices[base:base + row_deg] = np.sort(
+                out_indices[base:base + row_deg]
+            )
+        total += row_deg
+        out_indptr[row - start + 1] = total
+    if overflow:
+        return -total
+    return total
+
+
+@njit(**_JIT)
+def _mirror_neighbors(up_indptr, up_indices, n, full_indptr, full_indices):
+    # full[i] = mirrored {j < i} ++ upper[i]; outer loop ascending in i
+    # and ascending upper lists keep every full list ascending
+    cur = np.empty(n, np.int64)
+    for i in range(n):
+        cur[i] = up_indptr[i + 1] - up_indptr[i]
+    total = up_indptr[n]
+    for p in range(total):
+        cur[up_indices[p]] += 1
+    full_indptr[0] = 0
+    for i in range(n):
+        full_indptr[i + 1] = full_indptr[i] + cur[i]
+        cur[i] = full_indptr[i]
+    for i in range(n):
+        for p in range(up_indptr[i], up_indptr[i + 1]):
+            j = up_indices[p]
+            full_indices[cur[i]] = j
+            cur[i] += 1
+            full_indices[cur[j]] = i
+            cur[j] += 1
+    return full_indptr[n]
+
+
+# ------------------------------------------------------------------
+# 2. pair-code counting
+# ------------------------------------------------------------------
+
+@njit(**_JIT)
+def _pair_count_reduce(list_indptr, list_indices, n, codes, counts):
+    pos = 0
+    for l in range(len(list_indptr) - 1):
+        lo = list_indptr[l]
+        hi = list_indptr[l + 1]
+        for a in range(lo, hi):
+            base = np.int64(list_indices[a]) * n
+            for b in range(a + 1, hi):
+                codes[pos] = base + np.int64(list_indices[b])
+                pos += 1
+    if pos == 0:
+        return 0
+    codes[:pos] = np.sort(codes[:pos])
+    u = 0
+    i = 0
+    while i < pos:
+        c = codes[i]
+        j = i + 1
+        while j < pos and codes[j] == c:
+            j += 1
+        codes[u] = c
+        counts[u] = j - i
+        u += 1
+        i = j
+    return u
+
+
+# ------------------------------------------------------------------
+# 3. component merge inner loop
+# ------------------------------------------------------------------
+
+@njit(**_JIT)
+def _goodness(count, ni, nj, ptable, naive):
+    if naive:
+        return count
+    if ni > nj:
+        lo, hi = nj, ni
+    else:
+        lo, hi = ni, nj
+    denom = (ptable[lo + hi] - ptable[lo]) - ptable[hi]
+    if denom <= 0.0:
+        if count > 0.0:
+            return np.inf
+        return 0.0
+    return count / denom
+
+
+@njit(**_JIT)
+def _ent_lt(neg_a, part_a, neg_b, part_b):
+    if neg_a < neg_b:
+        return True
+    if neg_a > neg_b:
+        return False
+    return part_a < part_b
+
+
+@njit(**_JIT)
+def _siftdown(neg, part, startpos, pos):
+    item_n = neg[pos]
+    item_p = part[pos]
+    while pos > startpos:
+        parent = (pos - 1) >> 1
+        if _ent_lt(item_n, item_p, neg[parent], part[parent]):
+            neg[pos] = neg[parent]
+            part[pos] = part[parent]
+            pos = parent
+        else:
+            break
+    neg[pos] = item_n
+    part[pos] = item_p
+
+
+@njit(**_JIT)
+def _siftup(neg, part, length, pos):
+    startpos = pos
+    item_n = neg[pos]
+    item_p = part[pos]
+    child = 2 * pos + 1
+    while child < length:
+        right = child + 1
+        if right < length and not _ent_lt(
+            neg[child], part[child], neg[right], part[right]
+        ):
+            child = right
+        neg[pos] = neg[child]
+        part[pos] = part[child]
+        pos = child
+        child = 2 * pos + 1
+    neg[pos] = item_n
+    part[pos] = item_p
+    _siftdown(neg, part, startpos, pos)
+
+
+@njit(**_JIT)
+def _heapify(neg, part, length):
+    for i in range(length // 2 - 1, -1, -1):
+        _siftup(neg, part, length, i)
+
+
+@njit(**_JIT)
+def _lheap_push(heap_neg, heap_part, heap_len, x, neg_v, part_v):
+    n = heap_len[x]
+    arr_n = heap_neg[x]
+    if n == arr_n.size:
+        cap = max(8, arr_n.size * 2)
+        new_n = np.empty(cap, np.float64)
+        new_n[:n] = arr_n[:n]
+        heap_neg[x] = new_n
+        arr_p = heap_part[x]
+        new_p = np.empty(cap, np.int64)
+        new_p[:n] = arr_p[:n]
+        heap_part[x] = new_p
+    heap_neg[x][n] = neg_v
+    heap_part[x][n] = part_v
+    heap_len[x] = n + 1
+    _siftdown(heap_neg[x], heap_part[x], 0, n)
+
+
+@njit(**_JIT)
+def _lheap_pop(heap_neg, heap_part, heap_len, x):
+    neg = heap_neg[x]
+    part = heap_part[x]
+    n = heap_len[x] - 1
+    heap_len[x] = n
+    last_n = neg[n]
+    last_p = part[n]
+    if n == 0:
+        return
+    neg[0] = last_n
+    part[0] = last_p
+    _siftup(neg, part, n, 0)
+
+
+@njit(**_JIT)
+def _row_append(row_part, row_count, row_len, x, partner, c):
+    n = row_len[x]
+    arr_p = row_part[x]
+    if n == arr_p.size:
+        cap = max(4, arr_p.size * 2)
+        new_p = np.empty(cap, np.int64)
+        new_p[:n] = arr_p[:n]
+        row_part[x] = new_p
+        arr_c = row_count[x]
+        new_c = np.empty(cap, np.float64)
+        new_c[:n] = arr_c[:n]
+        row_count[x] = new_c
+    row_part[x][n] = partner
+    row_count[x][n] = c
+    row_len[x] = n + 1
+
+
+@njit(**_JIT)
+def _merge_component(
+    sizes_in, pair_lo, pair_hi, pair_count, ptable, naive,
+    out_left, out_right, out_goodness, out_sizes,
+):
+    s = sizes_in.size
+    n_slots = 2 * s - 1
+    size = np.zeros(n_slots, np.int64)
+    alive = np.zeros(n_slots, np.uint8)
+    best_token = np.full(n_slots, -np.inf)
+    size[:s] = sizes_in
+    alive[:s] = 1
+
+    deg = np.zeros(n_slots, np.int64)
+    for p in range(pair_lo.size):
+        deg[pair_lo[p]] += 1
+        deg[pair_hi[p]] += 1
+
+    row_part = List()
+    row_count = List()
+    heap_neg = List()
+    heap_part = List()
+    for x in range(n_slots):
+        cap = deg[x] if x < s and deg[x] > 0 else 0
+        row_part.append(np.empty(max(cap, 1), np.int64))
+        row_count.append(np.empty(max(cap, 1), np.float64))
+        heap_neg.append(np.empty(max(cap, 1), np.float64))
+        heap_part.append(np.empty(max(cap, 1), np.int64))
+    row_len = np.zeros(n_slots, np.int64)
+    heap_len = np.zeros(n_slots, np.int64)
+
+    for p in range(pair_lo.size):
+        a = pair_lo[p]
+        b = pair_hi[p]
+        c = pair_count[p]
+        neg = -_goodness(c, size[a], size[b], ptable, naive)
+        row_part[a][row_len[a]] = b
+        row_count[a][row_len[a]] = c
+        row_len[a] += 1
+        row_part[b][row_len[b]] = a
+        row_count[b][row_len[b]] = c
+        row_len[b] += 1
+        heap_neg[a][heap_len[a]] = neg
+        heap_part[a][heap_len[a]] = b
+        heap_len[a] += 1
+        heap_neg[b][heap_len[b]] = neg
+        heap_part[b][heap_len[b]] = a
+        heap_len[b] += 1
+    for x in range(s):
+        n = row_len[x]
+        if n > 1:
+            # partners are unique within a row, so stability is moot
+            order = np.argsort(row_part[x][:n])
+            row_part[x][:n] = row_part[x][:n][order]
+            row_count[x][:n] = row_count[x][:n][order]
+
+    # token seeding
+    g_cap = max(s, 1)
+    g_neg = np.empty(g_cap, np.float64)
+    g_part = np.empty(g_cap, np.int64)
+    g_len = 0
+    for x in range(s):
+        if heap_len[x] == 0:
+            continue
+        _heapify(heap_neg[x], heap_part[x], heap_len[x])
+        head_neg = heap_neg[x][0]
+        if head_neg < 0.0:
+            g_neg[g_len] = head_neg
+            g_part[g_len] = x
+            g_len += 1
+            best_token[x] = -head_neg
+    _heapify(g_neg, g_part, g_len)
+    heap_ops = g_len
+
+    alive_count = s
+    next_slot = s
+    n_merges = 0
+    while alive_count > 1 and g_len > 0:
+        tok_neg = g_neg[0]
+        tok_u = g_part[0]
+        g_len -= 1
+        last_n = g_neg[g_len]
+        last_p = g_part[g_len]
+        if g_len > 0:
+            g_neg[0] = last_n
+            g_part[0] = last_p
+            _siftup(g_neg, g_part, g_len, 0)
+        heap_ops += 1
+        u = tok_u
+        neg_g = tok_neg
+        if alive[u] == 0:
+            continue
+        while heap_len[u] > 0 and alive[heap_part[u][0]] == 0:
+            _lheap_pop(heap_neg, heap_part, heap_len, u)
+            heap_ops += 1
+        if heap_len[u] == 0:
+            best_token[u] = -np.inf
+            continue
+        head_neg = heap_neg[u][0]
+        if head_neg != neg_g:
+            if head_neg < 0.0:
+                if g_len == g_cap:
+                    g_cap *= 2
+                    new_n = np.empty(g_cap, np.float64)
+                    new_n[:g_len] = g_neg[:g_len]
+                    g_neg = new_n
+                    new_p = np.empty(g_cap, np.int64)
+                    new_p[:g_len] = g_part[:g_len]
+                    g_part = new_p
+                g_neg[g_len] = head_neg
+                g_part[g_len] = u
+                g_len += 1
+                _siftdown(g_neg, g_part, 0, g_len - 1)
+                heap_ops += 1
+                best_token[u] = -head_neg
+            else:
+                best_token[u] = -np.inf
+            continue
+        v = heap_part[u][0]
+        w = next_slot
+        next_slot += 1
+
+        # row_w = merge(row_u \ {v}, row_v \ {u}) over live partners,
+        # u's count first in the float sum
+        nu = row_len[u]
+        nv = row_len[v]
+        rw_part = np.empty(nu + nv, np.int64)
+        rw_count = np.empty(nu + nv, np.float64)
+        rw_len = 0
+        iu = 0
+        iv = 0
+        while True:
+            while iu < nu and (
+                alive[row_part[u][iu]] == 0 or row_part[u][iu] == v
+            ):
+                iu += 1
+            while iv < nv and (
+                alive[row_part[v][iv]] == 0 or row_part[v][iv] == u
+            ):
+                iv += 1
+            if iu >= nu and iv >= nv:
+                break
+            if iv >= nv or (iu < nu and row_part[u][iu] < row_part[v][iv]):
+                rw_part[rw_len] = row_part[u][iu]
+                rw_count[rw_len] = row_count[u][iu]
+                rw_len += 1
+                iu += 1
+            elif iu >= nu or row_part[v][iv] < row_part[u][iu]:
+                rw_part[rw_len] = row_part[v][iv]
+                rw_count[rw_len] = row_count[v][iv]
+                rw_len += 1
+                iv += 1
+            else:
+                rw_part[rw_len] = row_part[u][iu]
+                rw_count[rw_len] = row_count[u][iu] + row_count[v][iv]
+                rw_len += 1
+                iu += 1
+                iv += 1
+        row_part[w] = rw_part
+        row_count[w] = rw_count
+        row_len[w] = rw_len
+        row_len[u] = 0
+        row_len[v] = 0
+        heap_len[u] = 0
+        heap_len[v] = 0
+        alive[u] = 0
+        alive[v] = 0
+        alive[w] = 1
+        size_w = size[u] + size[v]
+        size[w] = size_w
+        alive_count -= 1
+
+        out_left[n_merges] = u
+        out_right[n_merges] = v
+        out_goodness[n_merges] = -neg_g
+        out_sizes[n_merges] = size_w
+        n_merges += 1
+
+        # partner updates
+        if rw_len > 0:
+            hw_neg = np.empty(rw_len, np.float64)
+            hw_part = np.empty(rw_len, np.int64)
+            heap_neg[w] = hw_neg
+            heap_part[w] = hw_part
+        hw_len = 0
+        for t in range(rw_len):
+            x = rw_part[t]
+            c = rw_count[t]
+            _row_append(row_part, row_count, row_len, x, w, c)
+            g = _goodness(c, size[x], size_w, ptable, naive)
+            neg = -g
+            _lheap_push(heap_neg, heap_part, heap_len, x, neg, w)
+            heap_neg[w][hw_len] = neg
+            heap_part[w][hw_len] = x
+            hw_len += 1
+            if g > best_token[x] and g > 0.0:
+                if g_len == g_cap:
+                    g_cap *= 2
+                    new_n = np.empty(g_cap, np.float64)
+                    new_n[:g_len] = g_neg[:g_len]
+                    g_neg = new_n
+                    new_p = np.empty(g_cap, np.int64)
+                    new_p[:g_len] = g_part[:g_len]
+                    g_part = new_p
+                g_neg[g_len] = neg
+                g_part[g_len] = x
+                g_len += 1
+                _siftdown(g_neg, g_part, 0, g_len - 1)
+                best_token[x] = g
+                heap_ops += 1
+        heap_ops += 1 + rw_len
+        heap_len[w] = hw_len
+        if hw_len > 0:
+            _heapify(heap_neg[w], heap_part[w], hw_len)
+            hn = heap_neg[w][0]
+            if hn < 0.0:
+                if g_len == g_cap:
+                    g_cap *= 2
+                    new_n = np.empty(g_cap, np.float64)
+                    new_n[:g_len] = g_neg[:g_len]
+                    g_neg = new_n
+                    new_p = np.empty(g_cap, np.int64)
+                    new_p[:g_len] = g_part[:g_len]
+                    g_part = new_p
+                g_neg[g_len] = hn
+                g_part[g_len] = w
+                g_len += 1
+                _siftdown(g_neg, g_part, 0, g_len - 1)
+                best_token[w] = -hn
+                heap_ops += 1
+    return n_merges, heap_ops
+
+
+class _NumbaKernels:
+    """The uniform three-kernel interface on top of the njit functions."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self.info = {"numba_version": _numba.__version__}
+
+    def score_block(
+        self, indptr, indices, t_indptr, t_indices, sizes,
+        n, start, stop, theta, overlap,
+    ):
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int32)
+        t_indptr = np.ascontiguousarray(t_indptr, dtype=np.int64)
+        t_indices = np.ascontiguousarray(t_indices, dtype=np.int32)
+        sizes = np.ascontiguousarray(sizes, dtype=np.int32)
+        rows = stop - start
+        acc = np.zeros(n, dtype=np.int32)
+        touched = np.empty(n, dtype=np.int32)
+        out_indptr = np.empty(rows + 1, dtype=np.int64)
+        cap = max(int(indices.size) * max(rows, 1) // max(n, 1) + 64, 256)
+        while True:
+            out_indices = np.empty(cap, dtype=np.int32)
+            written = _score_block(
+                indptr, indices, t_indptr, t_indices, sizes,
+                np.int64(n), np.int64(start), np.int64(stop),
+                float(theta), np.int64(overlap),
+                acc, touched, out_indptr, out_indices, np.int64(cap),
+            )
+            if written >= 0:
+                return out_indptr, out_indices[:written]
+            cap = int(-written)
+
+    def mirror_neighbors(self, upper_indptr, upper_indices, n):
+        upper_indptr = np.ascontiguousarray(upper_indptr, dtype=np.int64)
+        upper_indices = np.ascontiguousarray(upper_indices, dtype=np.int32)
+        full_indptr = np.empty(n + 1, dtype=np.int64)
+        full_indices = np.empty(2 * upper_indices.size, dtype=np.int32)
+        _mirror_neighbors(
+            upper_indptr, upper_indices, np.int64(n),
+            full_indptr, full_indices,
+        )
+        return full_indptr, full_indices
+
+    def pair_count_reduce(self, list_indptr, list_indices, n):
+        list_indptr = np.ascontiguousarray(list_indptr, dtype=np.int64)
+        list_indices = np.ascontiguousarray(list_indices, dtype=np.int32)
+        lens = np.diff(list_indptr)
+        total = int((lens * (lens - 1) // 2).sum())
+        # n*n < 2**31: sort 4-byte codes (half the memory traffic),
+        # widen on return -- same values, same order, same counts
+        code_dtype = np.int32 if 0 < n <= 46340 else np.int64
+        codes = np.empty(total, dtype=code_dtype)
+        counts = np.empty(total, dtype=np.int64)
+        unique = _pair_count_reduce(
+            list_indptr, list_indices, np.int64(n), codes, counts
+        )
+        return (
+            codes[:unique].astype(np.int64),
+            counts[:unique].copy(),
+        )
+
+    def merge_component(self, sizes, pair_lo, pair_hi, pair_count, ptable, naive):
+        sizes = np.ascontiguousarray(sizes, dtype=np.int64)
+        pair_lo = np.ascontiguousarray(pair_lo, dtype=np.int64)
+        pair_hi = np.ascontiguousarray(pair_hi, dtype=np.int64)
+        pair_count = np.ascontiguousarray(pair_count, dtype=np.float64)
+        ptable = np.ascontiguousarray(ptable, dtype=np.float64)
+        s = int(sizes.size)
+        cap = max(s - 1, 1)
+        out_left = np.empty(cap, dtype=np.int64)
+        out_right = np.empty(cap, dtype=np.int64)
+        out_goodness = np.empty(cap, dtype=np.float64)
+        out_sizes = np.empty(cap, dtype=np.int64)
+        n_merges, heap_ops = _merge_component(
+            sizes, pair_lo, pair_hi, pair_count, ptable, np.int64(naive),
+            out_left, out_right, out_goodness, out_sizes,
+        )
+        return (
+            out_left[:n_merges].copy(),
+            out_right[:n_merges].copy(),
+            out_goodness[:n_merges].copy(),
+            out_sizes[:n_merges].copy(),
+            int(heap_ops),
+        )
+
+
+def load_kernels() -> Any:
+    return _NumbaKernels()

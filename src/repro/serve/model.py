@@ -264,6 +264,9 @@ def model_from_result(
         "fit_mode": getattr(pipeline, "fit_mode", "auto"),
         "merge_method": getattr(pipeline, "merge_method", "auto"),
         "workers": getattr(pipeline, "workers", None),
+        # the backends that actually ran (fallbacks resolved), e.g.
+        # {"fit": "native:cext", "merge": "fast"}
+        "backends": dict(getattr(result, "backends", {}) or {}),
         # per-phase wall-clock of the producing run; previously this
         # died with the PipelineResult and tools downstream could only
         # show a summed total

@@ -356,7 +356,7 @@ class TestEngineIntegration:
         assert est.merge_method == "heap"
 
     def test_methods_tuple(self):
-        assert MERGE_METHODS == ("auto", "heap", "fast")
+        assert MERGE_METHODS == ("auto", "heap", "fast", "native")
 
 
 class TestLabelsFromClusters:

@@ -378,7 +378,9 @@ def test_fit_mode_validation():
         RockPipeline(k=2, theta=0.5, fit_mode="warp")
     with pytest.raises(ValueError):
         rock(make_baskets(10), k=2, theta=0.5, fit_mode="warp")
-    assert set(FIT_MODES) == {"auto", "dense", "blocked", "parallel", "fused"}
+    assert set(FIT_MODES) == {
+        "auto", "dense", "blocked", "parallel", "fused", "native",
+    }
 
 
 def test_model_metadata_records_fit_mode_and_workers():
