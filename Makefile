@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast lint bench bench-smoke bench-serve bench-serve-http bench-stream example-serve example-serve-http example-stream
+.PHONY: test test-fast lint bench bench-smoke bench-serve bench-serve-http bench-stream bench-shard clean-spill example-serve example-serve-http example-shard example-stream
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -19,14 +19,28 @@ bench:
 # work and equal the dense path, that the fast merge engine matches
 # the reference loop byte for byte, that a traced fit leaves a
 # complete RunManifest, that the HTTP server answers + coalesces
-# under concurrent load, and that stream mode's warmup -> drift refit
-# -> republish chain runs end to end -- fast enough for CI
+# under concurrent load, that stream mode's warmup -> drift refit
+# -> republish chain runs end to end, and that the sharded
+# out-of-core fit is merge-identical to fused -- fast enough for CI
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/bench_blocked_fit.py benchmarks/bench_parallel_fit.py \
 		benchmarks/bench_merge_phase.py benchmarks/bench_trace_fit.py \
 		benchmarks/bench_serve_http.py benchmarks/bench_stream.py \
+		benchmarks/bench_shard_fit.py \
 		-k smoke --benchmark-disable -s
+
+# the full sharded-fit bench: 30k overhead/RSS comparison plus the
+# 120k RLIMIT_AS reach demonstration (slow; a few minutes)
+bench-shard:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_shard_fit.py::test_shard_fit_scale \
+		--benchmark-disable -s -m slow
+
+# sharded fits spill per-unit npz checkpoints under a run directory;
+# interrupted runs left behind with --spill-dir land here by default
+clean-spill:
+	rm -rf .rock-spill bench-shard-* /tmp/bench-shard-* 2>/dev/null || true
 
 bench-serve:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
@@ -54,3 +68,6 @@ example-serve:
 
 example-serve-http:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/serve_http.py
+
+example-shard:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/shard_fit.py

@@ -71,14 +71,34 @@ def _add_fit_memory_args(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument(
         "--fit-mode",
-        choices=["auto", "dense", "blocked", "parallel", "fused", "native"],
+        choices=[
+            "auto", "dense", "blocked", "parallel", "fused", "native",
+            "sharded",
+        ],
         default="auto",
         help="coarse fit-path switch; 'parallel' fans row blocks out "
         "across --workers processes, 'fused' additionally folds link "
         "counting into the same pass (lowest peak memory), 'native' "
         "runs the fused pass with repro.native kernels (falls back to "
-        "fused with a warning when unavailable); all modes produce "
-        "identical clusters",
+        "fused with a warning when unavailable), 'sharded' runs the "
+        "out-of-core coordinator/worker fit over a memory-mapped store "
+        "(crash-safe, resumable); all modes produce identical clusters",
+    )
+    sub.add_argument(
+        "--shard-block-rows", type=int, default=None,
+        help="rows per sharded scoring unit (fit_mode=sharded; default "
+        "derives from the memory budget)",
+    )
+    sub.add_argument(
+        "--spill-dir", type=Path, default=None,
+        help="sharded-fit run directory; reusing the same path resumes "
+        "an interrupted fit (default: a private temp dir, removed "
+        "after the fit)",
+    )
+    sub.add_argument(
+        "--max-retries", type=int, default=2,
+        help="pool rebuilds tolerated after shard worker crashes before "
+        "degrading to in-coordinator execution",
     )
     sub.add_argument(
         "--merge-method",
@@ -182,6 +202,33 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument(
         "--scale", choices=["small", "full"], default="small",
         help="small = laptop-scale instance; full = the paper's sizes",
+    )
+
+    gen_data = sub.add_parser(
+        "gen-data",
+        help="stream a synthetic basket transactions file of arbitrary "
+        "size to disk (chunked writer; never holds the rows in memory)",
+    )
+    gen_data.add_argument("--out", required=True, type=Path, help="output file")
+    gen_data.add_argument(
+        "-n", "--rows", dest="rows", type=int, required=True,
+        help="number of transactions to write",
+    )
+    gen_data.add_argument(
+        "--clusters", type=int, default=None,
+        help="generating cluster count (default: rows // 1000, min 2)",
+    )
+    gen_data.add_argument("--items-per-cluster", type=int, default=20)
+    gen_data.add_argument("--outlier-fraction", type=float, default=0.05)
+    gen_data.add_argument(
+        "--chunk-rows", type=int, default=8192,
+        help="rows buffered per write",
+    )
+    gen_data.add_argument("--seed", type=int, default=0)
+    gen_data.add_argument(
+        "--labels", type=Path, default=None,
+        help="also stream ground-truth labels here (one per line, -1 "
+        "for outliers)",
     )
 
     cluster = sub.add_parser("cluster", help="cluster a data file with ROCK")
@@ -425,6 +472,29 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_gen_data(args: argparse.Namespace) -> int:
+    from repro.datasets import write_basket_file
+
+    summary = write_basket_file(
+        args.out,
+        args.rows,
+        n_clusters=args.clusters,
+        items_per_cluster=args.items_per_cluster,
+        outlier_fraction=args.outlier_fraction,
+        chunk_rows=args.chunk_rows,
+        seed=args.seed,
+        labels_path=args.labels,
+    )
+    print(
+        f"wrote {summary['rows']} transactions to {args.out} "
+        f"({summary['clusters']} clusters, {summary['outliers']} outliers, "
+        f"{summary['items']} distinct items)"
+    )
+    if args.labels is not None:
+        print(f"labels written to {args.labels}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # cluster
 # ---------------------------------------------------------------------------
@@ -457,6 +527,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         fit_mode=args.fit_mode,
         merge_method=args.merge_method,
         workers=_fit_workers(args),
+        shard_block_rows=args.shard_block_rows,
+        spill_dir=args.spill_dir,
+        max_retries=args.max_retries,
         seed=args.seed,
     )
     from repro.obs import Tracer
@@ -606,6 +679,9 @@ def cmd_fit_model(args: argparse.Namespace) -> int:
         fit_mode=args.fit_mode,
         merge_method=args.merge_method,
         workers=_fit_workers(args),
+        shard_block_rows=args.shard_block_rows,
+        spill_dir=args.spill_dir,
+        max_retries=args.max_retries,
         seed=args.seed,
     )
     from repro.obs import Tracer
@@ -792,6 +868,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
         fit_mode=args.fit_mode,
         merge_method=args.merge_method,
         workers=_fit_workers(args),
+        shard_block_rows=args.shard_block_rows,
+        spill_dir=args.spill_dir,
+        max_retries=args.max_retries,
         seed=args.seed,
     )
     drift = None
@@ -883,6 +962,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
         return cmd_generate(args)
+    if args.command == "gen-data":
+        return cmd_gen_data(args)
     if args.command == "cluster":
         return cmd_cluster(args)
     if args.command == "suggest-theta":

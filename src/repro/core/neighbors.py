@@ -457,6 +457,27 @@ def blocked_neighbor_graph(
     return NeighborGraph.from_neighbor_lists(lists, theta=theta, validate=False)
 
 
+def resolve_memory_budget(memory_budget: int | None = None) -> int:
+    """An explicit budget verbatim; otherwise a host-aware default.
+
+    With no explicit budget, half the host's *available* physical
+    memory (from :func:`repro.obs.manifest.host_memory`) clamped to
+    [256 MiB, 4 GiB] -- conservative enough that a fit never plans to
+    fill RAM it would have to share, while small containers get a
+    budget that actually reflects their limits instead of the blanket
+    :data:`DEFAULT_MEMORY_BUDGET`.  Falls back to the blanket default
+    where ``/proc/meminfo`` is unavailable.
+    """
+    if memory_budget is not None:
+        return int(memory_budget)
+    from repro.obs.manifest import host_memory
+
+    _, available = host_memory()
+    if available is None:
+        return DEFAULT_MEMORY_BUDGET
+    return max(256 << 20, min(available // 2, 4 << 30))
+
+
 def default_block_size(n: int, memory_budget: int | None = None) -> int:
     """Rows per block keeping a block's working set inside the budget.
 

@@ -175,6 +175,17 @@ class RockPipeline:
         native when :mod:`repro.native` opts in -- for built-in
         goodness measures, heap for custom callables).  Byte-identical
         results either way (property-tested).
+    shard_block_rows / spill_dir / max_retries:
+        Sharded-fit knobs (``fit_mode="sharded"``): rows per scoring
+        block (default: the parallel kernels' budget-aware block
+        size), the crash-safe run directory (default: a temporary
+        directory, no resume), and how many times a died worker pool
+        is rebuilt before the remaining units run in the coordinator.
+        ``fit_mode="sharded"`` requires ``min_neighbors <= 1``, no
+        ``min_cluster_size`` weeding, no ``initial_clusters`` and a
+        built-in goodness measure; anything else degrades to the
+        parallel kernels with one warning.  Results are byte-identical
+        to the fused path (property-tested).
     seed:
         Seed for sampling and labeling-set draws; runs are fully
         deterministic for a fixed seed.
@@ -198,6 +209,9 @@ class RockPipeline:
         fit_mode: str = "auto",
         workers: int | str | None = None,
         merge_method: str = "auto",
+        shard_block_rows: int | None = None,
+        spill_dir: "str | None" = None,
+        max_retries: int = 2,
         seed: int | None = None,
     ) -> None:
         if k < 1:
@@ -215,6 +229,10 @@ class RockPipeline:
                 f"merge_method must be one of {MERGE_METHODS}, "
                 f"got {merge_method!r}"
             )
+        if shard_block_rows is not None and shard_block_rows < 1:
+            raise ValueError("shard_block_rows must be positive when given")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.k = k
         self.theta = theta
         self.similarity = similarity
@@ -231,6 +249,9 @@ class RockPipeline:
         self.fit_mode = fit_mode
         self.workers = workers
         self.merge_method = merge_method
+        self.shard_block_rows = shard_block_rows
+        self.spill_dir = spill_dir
+        self.max_retries = max_retries
         self.seed = seed
 
     def fit(
@@ -326,8 +347,41 @@ class RockPipeline:
 
         # -- 2 + 3. neighbors, isolated-point pruning, links ---------------
         min_neighbors = max(self.min_neighbors, 0)
+        sharded_fit = False
+        if self.fit_mode == "sharded":
+            # the coordinator covers phases 2-4 in one go; anything it
+            # cannot run bit-identically falls back to the parallel
+            # kernels with one warning (same taxonomy as "native")
+            shard_reason = None
+            if min_neighbors > 1:
+                shard_reason = "min_neighbors <= 1 required"
+            elif self.min_cluster_size is not None:
+                shard_reason = "outlier weeding pauses the merge loop"
+            elif initial_clusters is not None:
+                shard_reason = "resume from initial_clusters"
+            else:
+                from repro.shard.coordinator import shard_supported
+
+                supported, reason = shard_supported(
+                    sample_points, self.similarity, self.goodness_fn
+                )
+                if not supported:
+                    shard_reason = reason
+            if shard_reason is None:
+                sharded_fit = True
+            else:
+                import warnings
+
+                warnings.warn(
+                    f"fit_mode='sharded' unavailable ({shard_reason}); "
+                    "falling back to the parallel kernels",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
         native_fit = False
-        if min_neighbors <= 1:
+        if sharded_fit:
+            pass
+        elif min_neighbors <= 1:
             if self.fit_mode == "native":
                 from repro.native.links import native_fit_supported
 
@@ -354,16 +408,15 @@ class RockPipeline:
                 # keep the dense kernel, and a checkout without the
                 # [native] extra changes nothing.
                 from repro.core.neighbors import (
-                    DEFAULT_MEMORY_BUDGET,
                     dense_similarity_bytes,
+                    resolve_memory_budget,
                 )
                 from repro.native import auto_native
 
-                budget = (
-                    DEFAULT_MEMORY_BUDGET
-                    if self.memory_budget is None
-                    else self.memory_budget
-                )
+                # host-aware default: half the available physical
+                # memory (clamped), so the switch-over tracks the
+                # machine actually running the fit
+                budget = resolve_memory_budget(self.memory_budget)
                 if (
                     dense_similarity_bytes(len(sample_points)) > budget
                     and auto_native()
@@ -382,7 +435,40 @@ class RockPipeline:
                 RuntimeWarning,
                 stacklevel=3,
             )
-        if native_fit or (
+        if sharded_fit:
+            from repro.shard.coordinator import shard_fit
+
+            sharded = shard_fit(
+                sample_points,
+                k=self.k,
+                theta=self.theta,
+                f_theta=self.f(self.theta),
+                similarity=self.similarity,
+                goodness_fn=self.goodness_fn,
+                min_neighbors=min_neighbors,
+                workers=self.workers,
+                block_rows=self.shard_block_rows,
+                spill_dir=self.spill_dir,
+                max_retries=self.max_retries,
+                memory_budget=self.memory_budget,
+                tracer=tracer,
+            )
+            kept = sharded.kept
+            discarded = sharded.discarded
+            outlier_sample_positions = list(discarded)
+            if len(kept) == 0:
+                raise ValueError(
+                    "every sampled point was pruned as an outlier; lower "
+                    "theta or min_neighbors"
+                )
+            result = sharded.result
+            backends["fit"] = "sharded"
+            # the coordinator's workers run the PR 5 component streams;
+            # the stitch is the fast engine's k-way replay
+            backends["merge"] = "fast"
+            for phase in ("neighbors", "links", "cluster"):
+                timings[phase] = sharded.timings.get(phase, 0.0)
+        elif native_fit or (
             self.fit_mode in ("fused", "native") and min_neighbors <= 1
         ):
             # one-pass fused kernel: the neighbor graph never exists.
@@ -472,58 +558,66 @@ class RockPipeline:
             timings["links"] = span.wall_seconds
 
         # -- 4. cluster (with optional pause-and-weed) ----------------------
-        starting_partition = (
-            None
-            if initial_clusters is None
-            else _map_initial_clusters(initial_clusters, sampled, kept, n_total)
-        )
-        if merge_method == "native":
-            from repro.native import available_backend
+        # (a sharded fit already clustered inside the coordinator)
+        if not sharded_fit:
+            starting_partition = (
+                None
+                if initial_clusters is None
+                else _map_initial_clusters(
+                    initial_clusters, sampled, kept, n_total
+                )
+            )
+            if merge_method == "native":
+                from repro.native import available_backend
 
-            backends["merge"] = f"native:{available_backend()}"
-        else:
-            backends["merge"] = merge_method
-        with tracer.span(
-            "cluster", k=self.k, merge_method=merge_method
-        ) as span:
-            f_theta = self.f(self.theta)
-            if self.min_cluster_size is not None:
-                pause_at = weeding_stop_count(self.k, self.outlier_multiple)
-                first = cluster_with_links(
-                    links, k=pause_at, f_theta=f_theta,
-                    initial_clusters=starting_partition,
-                    goodness_fn=self.goodness_fn,
-                    merge_method=merge_method, workers=self.workers,
-                    registry=registry,
-                )
-                survivors, weeded = weed_small_clusters(
-                    first.clusters, self.min_cluster_size
-                )
-                outlier_sample_positions.extend(int(kept[p]) for p in weeded)
-                if not survivors:
-                    raise ValueError(
-                        "outlier weeding removed every cluster; lower "
-                        "min_cluster_size"
-                    )
-                result = cluster_with_links(
-                    links,
-                    k=self.k,
-                    f_theta=f_theta,
-                    initial_clusters=survivors,
-                    goodness_fn=self.goodness_fn,
-                    merge_method=merge_method, workers=self.workers,
-                    registry=registry,
-                )
+                backends["merge"] = f"native:{available_backend()}"
             else:
-                result = cluster_with_links(
-                    links, k=self.k, f_theta=f_theta,
-                    initial_clusters=starting_partition,
-                    goodness_fn=self.goodness_fn,
-                    merge_method=merge_method, workers=self.workers,
-                    registry=registry,
-                )
-            registry.inc("fit.cluster.merges", len(result.merges))
-        timings["cluster"] = span.wall_seconds
+                backends["merge"] = merge_method
+            with tracer.span(
+                "cluster", k=self.k, merge_method=merge_method
+            ) as span:
+                f_theta = self.f(self.theta)
+                if self.min_cluster_size is not None:
+                    pause_at = weeding_stop_count(
+                        self.k, self.outlier_multiple
+                    )
+                    first = cluster_with_links(
+                        links, k=pause_at, f_theta=f_theta,
+                        initial_clusters=starting_partition,
+                        goodness_fn=self.goodness_fn,
+                        merge_method=merge_method, workers=self.workers,
+                        registry=registry,
+                    )
+                    survivors, weeded = weed_small_clusters(
+                        first.clusters, self.min_cluster_size
+                    )
+                    outlier_sample_positions.extend(
+                        int(kept[p]) for p in weeded
+                    )
+                    if not survivors:
+                        raise ValueError(
+                            "outlier weeding removed every cluster; lower "
+                            "min_cluster_size"
+                        )
+                    result = cluster_with_links(
+                        links,
+                        k=self.k,
+                        f_theta=f_theta,
+                        initial_clusters=survivors,
+                        goodness_fn=self.goodness_fn,
+                        merge_method=merge_method, workers=self.workers,
+                        registry=registry,
+                    )
+                else:
+                    result = cluster_with_links(
+                        links, k=self.k, f_theta=f_theta,
+                        initial_clusters=starting_partition,
+                        goodness_fn=self.goodness_fn,
+                        merge_method=merge_method, workers=self.workers,
+                        registry=registry,
+                    )
+                registry.inc("fit.cluster.merges", len(result.merges))
+            timings["cluster"] = span.wall_seconds
 
         # the fit.backend gauges (numeric) and root-span attrs (strings)
         # record which path actually ran, fallbacks included

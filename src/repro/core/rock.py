@@ -229,17 +229,20 @@ def cluster_with_links(
 # the CLI.  "auto" defers to the finer neighbor_method / link_method
 # knobs (and the memory-budget heuristic); the explicit modes force one
 # of the kernels end to end ("native" is the fused kernel with
-# repro.native block scoring).  All modes produce identical results.
-FIT_MODES = ("auto", "dense", "blocked", "parallel", "fused", "native")
+# repro.native block scoring, "sharded" the out-of-core coordinator of
+# repro.shard).  All modes produce identical results.
+FIT_MODES = ("auto", "dense", "blocked", "parallel", "fused", "native", "sharded")
 
 
 def resolve_fit_mode(fit_mode: str) -> tuple[str, str]:
     """Map a fit mode to its ``(neighbor_method, link_method)`` pair.
 
-    ``fused`` and ``native`` are not expressible as method pairs --
-    callers branch to :func:`repro.parallel.links.fused_neighbor_links`
-    / :func:`repro.native.links.native_neighbor_links` before consulting
-    this mapping -- but mapping them to the parallel pair keeps a single
+    ``fused``, ``native`` and ``sharded`` are not expressible as method
+    pairs -- callers branch to
+    :func:`repro.parallel.links.fused_neighbor_links` /
+    :func:`repro.native.links.native_neighbor_links` /
+    :func:`repro.shard.coordinator.shard_fit` before consulting this
+    mapping -- but mapping them to the parallel pair keeps a single
     safe fallback for callers that cannot fuse (e.g. weighted links).
     """
     if fit_mode not in FIT_MODES:
@@ -253,6 +256,7 @@ def resolve_fit_mode(fit_mode: str) -> tuple[str, str]:
         "parallel": ("parallel", "parallel"),
         "fused": ("parallel", "parallel"),
         "native": ("parallel", "parallel"),
+        "sharded": ("parallel", "parallel"),
     }[fit_mode]
 
 
@@ -270,6 +274,9 @@ def rock(
     fit_mode: str = "auto",
     workers: int | str | None = None,
     merge_method: str = "auto",
+    shard_block_rows: int | None = None,
+    spill_dir: "str | None" = None,
+    max_retries: int = 2,
     tracer: "Tracer | None" = None,
 ) -> RockResult:
     """Convenience end-to-end run on in-memory points (no sampling/labeling).
@@ -293,7 +300,12 @@ def rock(
     :func:`repro.parallel.links.fused_neighbor_links` (never
     materialising the neighbor graph); ``"native"`` is the fused pass
     with :mod:`repro.native` block kernels, degrading to ``"fused"``
-    with one warning when unsupported.  ``workers`` (int, ``"auto"``,
+    with one warning when unsupported; ``"sharded"`` runs the
+    out-of-core coordinator of :mod:`repro.shard` (memory-mapped
+    store, per-block workers, component-wise merge), honouring
+    ``shard_block_rows`` / ``spill_dir`` / ``max_retries`` and
+    degrading to the parallel kernels with one warning when the
+    input cannot be store-encoded.  ``workers`` (int, ``"auto"``,
     or ``None`` for serial) sets the process count for the parallel
     and fused kernels.  Every mode yields identical clusters.  For the
     full sample -> prune -> cluster -> weed -> label pipeline of
@@ -322,6 +334,33 @@ def rock(
 
         tracer = Tracer()
     registry = tracer.registry
+    if fit_mode == "sharded":
+        supported = False
+        if not weighted_links:
+            from repro.shard.coordinator import shard_fit, shard_supported
+
+            supported, reason = shard_supported(
+                points, similarity, goodness_fn
+            )
+        else:
+            reason = "weighted links need the dense similarity matrix"
+        if supported:
+            return shard_fit(
+                points, k=k, theta=theta, f_theta=f(theta),
+                similarity=similarity, goodness_fn=goodness_fn,
+                workers=workers, block_rows=shard_block_rows,
+                spill_dir=spill_dir, max_retries=max_retries,
+                memory_budget=memory_budget, tracer=tracer,
+            ).result
+        import warnings
+
+        warnings.warn(
+            f"fit_mode='sharded' unavailable ({reason}); "
+            "falling back to the parallel kernels",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        fit_mode = "parallel"
     if weighted_links:
         from repro.core.links import LinkTable, weighted_link_matrix
         from repro.core.neighbors import (

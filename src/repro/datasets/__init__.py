@@ -37,6 +37,7 @@ from repro.datasets.synthetic_basket import (
     SyntheticBasketConfig,
     generate_synthetic_basket,
     small_synthetic_basket,
+    write_basket_file,
 )
 from repro.datasets.votes import (
     DEMOCRAT,
@@ -72,4 +73,5 @@ __all__ = [
     "generate_votes",
     "small_mushroom",
     "small_synthetic_basket",
+    "write_basket_file",
 ]

@@ -64,6 +64,9 @@ class RockClusterer:
         fit_mode: str = "auto",
         merge_method: str = "auto",
         workers: int | str | None = None,
+        shard_block_rows: int | None = None,
+        spill_dir: "str | None" = None,
+        max_retries: int = 2,
         random_state: int | None = None,
     ) -> None:
         self.n_clusters = n_clusters
@@ -78,6 +81,9 @@ class RockClusterer:
         self.fit_mode = fit_mode
         self.merge_method = merge_method
         self.workers = workers
+        self.shard_block_rows = shard_block_rows
+        self.spill_dir = spill_dir
+        self.max_retries = max_retries
         self.random_state = random_state
 
     # -- sklearn protocol ---------------------------------------------------
@@ -95,6 +101,9 @@ class RockClusterer:
             "fit_mode": self.fit_mode,
             "merge_method": self.merge_method,
             "workers": self.workers,
+            "shard_block_rows": self.shard_block_rows,
+            "spill_dir": self.spill_dir,
+            "max_retries": self.max_retries,
             "random_state": self.random_state,
         }
 
@@ -125,6 +134,9 @@ class RockClusterer:
             fit_mode=self.fit_mode,
             merge_method=self.merge_method,
             workers=self.workers,
+            shard_block_rows=self.shard_block_rows,
+            spill_dir=self.spill_dir,
+            max_retries=self.max_retries,
             seed=self.random_state,
         )
         result = pipeline.fit(points)

@@ -40,6 +40,7 @@ from repro.obs.manifest import (
     MANIFEST_FORMAT,
     MANIFEST_VERSION,
     RunManifest,
+    host_memory,
     host_metadata,
 )
 from repro.obs.registry import (
@@ -62,6 +63,7 @@ __all__ = [
     "Span",
     "Tracer",
     "bucket_labels",
+    "host_memory",
     "host_metadata",
     "metrics_to_jsonl",
     "metrics_to_prometheus",

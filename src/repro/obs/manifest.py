@@ -46,6 +46,7 @@ def host_metadata() -> dict[str, Any]:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
     }
+    meta["mem_total_bytes"], meta["mem_available_bytes"] = host_memory()
     try:
         import numpy
 
@@ -59,6 +60,31 @@ def host_metadata() -> dict[str, Any]:
     except ImportError:  # pragma: no cover - scipy present in dev envs
         meta["scipy"] = None
     return meta
+
+
+def host_memory() -> tuple[int | None, int | None]:
+    """``(total, available)`` physical memory in bytes, or ``None``s.
+
+    Parsed from ``/proc/meminfo`` (Linux); on platforms without it --
+    or with an unreadable/odd one -- both slots degrade to ``None``
+    rather than raising, so manifests stay writable everywhere.  The
+    available figure feeds the sharded fit's default memory budget.
+    """
+    total: int | None = None
+    available: int | None = None
+    try:
+        with open("/proc/meminfo", encoding="ascii") as handle:
+            for line in handle:
+                key, _, rest = line.partition(":")
+                if key == "MemTotal":
+                    total = int(rest.split()[0]) * 1024
+                elif key == "MemAvailable":
+                    available = int(rest.split()[0]) * 1024
+                if total is not None and available is not None:
+                    break
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        return None, None
+    return total, available
 
 
 @dataclass

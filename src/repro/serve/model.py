@@ -264,6 +264,19 @@ def model_from_result(
         "fit_mode": getattr(pipeline, "fit_mode", "auto"),
         "merge_method": getattr(pipeline, "merge_method", "auto"),
         "workers": getattr(pipeline, "workers", None),
+        **(
+            {
+                "shard_block_rows": getattr(pipeline, "shard_block_rows", None),
+                "spill_dir": (
+                    None
+                    if getattr(pipeline, "spill_dir", None) is None
+                    else str(pipeline.spill_dir)
+                ),
+                "max_retries": getattr(pipeline, "max_retries", 2),
+            }
+            if getattr(pipeline, "fit_mode", "auto") == "sharded"
+            else {}
+        ),
         # the backends that actually ran (fallbacks resolved), e.g.
         # {"fit": "native:cext", "merge": "fast"}
         "backends": dict(getattr(result, "backends", {}) or {}),

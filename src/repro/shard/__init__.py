@@ -1,0 +1,43 @@
+"""Out-of-core sharded fit: coordinator/worker runtime over a mmap store.
+
+PR 5 proved the merge loop decomposes *exactly* by link-graph connected
+component; this package pushes that decomposition upstream into the
+neighbor/link phase so a fit can run at n where even the fused path's
+in-RAM structures do not fit:
+
+* :mod:`repro.shard.store` -- transactions encoded once into an on-disk
+  int32 CSR (``items.i32`` + ``indptr.i64`` + checksummed ``store.json``)
+  that workers open via ``np.memmap``; the pool payload is a *path*,
+  not a pickled matrix.
+* :mod:`repro.shard.planner` -- deterministic unit schedules: row
+  blocks for the sharded fused kernel, cost-balanced component chunks
+  for the merge phase.  Unit layout is independent of the worker count
+  so a run directory resumes under a different ``workers`` setting.
+* :mod:`repro.shard.checkpoint` -- crash-safe run directories: every
+  completed unit is an atomic ``.npz`` spill plus done-marker, a
+  fingerprinted ``run.json`` decides resume-vs-restart, and a bounded
+  retry loop survives SIGKILLed workers (degrading to in-coordinator
+  execution with a warning once retries are exhausted).
+* :mod:`repro.shard.coordinator` -- drives the phases: sharded scoring
+  blocks stream edges into a union-find, per-component merge streams
+  reuse the PR 5 engine, and the k-way replay stitches one
+  byte-identical :class:`~repro.core.rock.RockResult`.
+"""
+
+from repro.shard.checkpoint import RunDirectory, ShardExecutor
+from repro.shard.coordinator import ShardFitResult, shard_fit, shard_supported
+from repro.shard.planner import ShardPlan, plan_shards
+from repro.shard.store import StoreIntegrityError, StoreScorer, TransactionStore
+
+__all__ = [
+    "RunDirectory",
+    "ShardExecutor",
+    "ShardFitResult",
+    "ShardPlan",
+    "StoreIntegrityError",
+    "StoreScorer",
+    "TransactionStore",
+    "plan_shards",
+    "shard_fit",
+    "shard_supported",
+]

@@ -1,0 +1,253 @@
+"""Crash-safe run directories: atomic unit spills, resume, bounded retries.
+
+A sharded fit's run directory (the ``spill_dir``) holds::
+
+    run.json            fingerprint of the fit configuration + store
+    store/              the encoded transaction store (when owned)
+    <unit>.npz          one completed unit's spilled arrays
+    <unit>.done         atomic done-marker (written after the npz)
+
+Every unit publish is tmp-write + ``os.replace``, and the marker is
+written only after the spill, so a unit either exists completely or
+not at all -- a coordinator killed mid-run restarts, matches the
+fingerprint in ``run.json``, and skips every marked unit.  A changed
+fingerprint (different data, theta, block size, ...) wipes the stale
+units instead of resuming into a lie.
+
+Worker execution runs through :class:`ShardExecutor`: a
+``ProcessPoolExecutor`` backend (chosen over ``multiprocessing.Pool``
+because a SIGKILLed pool worker hangs ``imap`` forever, while the
+executor surfaces ``BrokenProcessPool``).  A broken pool is rebuilt
+and the not-yet-done units resubmitted up to ``max_retries`` times;
+after that the survivors run serially *in the coordinator* with a
+``RuntimeWarning`` -- same degrade taxonomy as the native kernels'
+fallback, the fit still completes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+import signal
+import warnings
+from collections.abc import Callable, Iterable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "RunDirectory",
+    "ShardExecutor",
+    "maybe_kill_for_test",
+]
+
+RUN_FORMAT = "rock-shard-run"
+RUN_VERSION = 1
+
+# failure-injection hook for the kill/retry/resume tests: when a unit
+# named by REPRO_SHARD_KILL_UNIT starts (optionally "name:K" to die on
+# the first K attempts), the executing process SIGKILLs itself after
+# recording the attempt in a sidecar file.  Subsequent attempts proceed.
+KILL_ENV = "REPRO_SHARD_KILL_UNIT"
+
+
+def maybe_kill_for_test(unit: str, root: Path) -> None:
+    spec = os.environ.get(KILL_ENV)
+    if not spec:
+        return
+    target, _, count = spec.partition(":")
+    if target != unit:
+        return
+    kills = int(count) if count else 1
+    sidecar = root / f"{unit}.killed"
+    attempts = int(sidecar.read_text()) if sidecar.exists() else 0
+    if attempts >= kills:
+        return
+    sidecar.write_text(str(attempts + 1))
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class RunDirectory:
+    """Atomic spill/marker bookkeeping under one run root."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- fingerprint -----------------------------------------------------
+
+    def begin(self, fingerprint: dict[str, Any]) -> bool:
+        """Adopt or reset the directory; returns True when resuming.
+
+        A matching ``run.json`` keeps every completed unit; a missing
+        or different one clears stale units and rewrites the
+        fingerprint.
+        """
+        run_path = self.root / "run.json"
+        record = {
+            "format": RUN_FORMAT,
+            "version": RUN_VERSION,
+            "fingerprint": fingerprint,
+        }
+        if run_path.is_file():
+            try:
+                existing = json.loads(run_path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError:
+                existing = None
+            if existing == record:
+                return True
+        self.clear_units()
+        self._publish_text(run_path, json.dumps(record, indent=2) + "\n")
+        return False
+
+    def clear_units(self) -> None:
+        for path in self.root.iterdir():
+            if path.suffix in (".npz", ".done", ".tmp", ".killed"):
+                path.unlink()
+
+    # -- units -----------------------------------------------------------
+
+    def unit_done(self, unit: str) -> bool:
+        return (self.root / f"{unit}.done").is_file() and (
+            self.root / f"{unit}.npz"
+        ).is_file()
+
+    def done_units(self, units: Iterable[str]) -> list[str]:
+        return [unit for unit in units if self.unit_done(unit)]
+
+    def publish_unit(self, unit: str, arrays: dict[str, np.ndarray]) -> None:
+        """Spill one unit atomically: npz via tmp+replace, then marker."""
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        npz_path = self.root / f"{unit}.npz"
+        tmp = npz_path.with_suffix(".npz.tmp")
+        tmp.write_bytes(buffer.getvalue())
+        os.replace(tmp, npz_path)
+        self._publish_text(self.root / f"{unit}.done", "done\n")
+
+    def load_unit(self, unit: str) -> dict[str, np.ndarray]:
+        with np.load(self.root / f"{unit}.npz") as payload:
+            return {key: payload[key] for key in payload.files}
+
+    def _publish_text(self, path: Path, text: str) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+
+    def cleanup(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+class ShardExecutor:
+    """Bounded-retry execution of spill-publishing unit functions.
+
+    ``task_fn(unit_name, payload)`` must be a module-level callable
+    that performs the work, publishes the unit spill itself, and
+    returns a small info dict.  The executor guarantees every unit in
+    ``units`` is done (marker present) when :meth:`run` returns, no
+    matter how many workers died on the way.
+    """
+
+    def __init__(
+        self,
+        run_dir: RunDirectory,
+        workers: int,
+        max_retries: int = 2,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> None:
+        self.run_dir = run_dir
+        self.workers = max(int(workers), 1)
+        self.max_retries = max(int(max_retries), 0)
+        self.initializer = initializer
+        self.initargs = initargs
+        self.retries = 0
+        self.degraded = False
+
+    def run(
+        self,
+        units: list[tuple[str, Any]],
+        task_fn: Callable[..., dict[str, Any]],
+        on_result: Callable[[str, dict[str, Any]], None] | None = None,
+    ) -> None:
+        pending = [
+            (name, payload)
+            for name, payload in units
+            if not self.run_dir.unit_done(name)
+        ]
+        if not pending:
+            return
+        if self.workers <= 1:
+            self._run_serial(pending, task_fn, on_result)
+            return
+        attempts = 0
+        while pending:
+            try:
+                pending = self._run_pool(pending, task_fn, on_result)
+            except BrokenProcessPool:
+                pending = [
+                    (name, payload)
+                    for name, payload in pending
+                    if not self.run_dir.unit_done(name)
+                ]
+                attempts += 1
+                self.retries = attempts
+                if attempts > self.max_retries:
+                    self.degraded = True
+                    warnings.warn(
+                        f"shard workers died {attempts} times; running the "
+                        f"remaining {len(pending)} unit(s) in the "
+                        "coordinator process",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    self._run_serial(pending, task_fn, on_result)
+                    return
+
+    def _run_serial(
+        self,
+        pending: list[tuple[str, Any]],
+        task_fn: Callable[..., dict[str, Any]],
+        on_result: Callable[[str, dict[str, Any]], None] | None,
+    ) -> None:
+        if self.initializer is not None:
+            self.initializer(*self.initargs)
+        for name, payload in pending:
+            info = task_fn(name, payload)
+            if on_result is not None:
+                on_result(name, info)
+
+    def _run_pool(
+        self,
+        pending: list[tuple[str, Any]],
+        task_fn: Callable[..., dict[str, Any]],
+        on_result: Callable[[str, dict[str, Any]], None] | None,
+    ) -> list[tuple[str, Any]]:
+        """One pool generation; raises BrokenProcessPool on worker death."""
+        remaining = {name: payload for name, payload in pending}
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)),
+            initializer=self.initializer,
+            initargs=self.initargs,
+        ) as pool:
+            futures = {
+                pool.submit(task_fn, name, payload): name
+                for name, payload in pending
+            }
+            open_futures = set(futures)
+            while open_futures:
+                finished, open_futures = wait(
+                    open_futures, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    name = futures[future]
+                    info = future.result()  # BrokenProcessPool propagates
+                    remaining.pop(name, None)
+                    if on_result is not None:
+                        on_result(name, info)
+        return [(name, payload) for name, payload in remaining.items()]

@@ -21,6 +21,7 @@ class TestHostMetadata:
         meta = host_metadata()
         assert set(meta) == {
             "platform", "python", "machine", "cpu_count", "numpy", "scipy",
+            "mem_total_bytes", "mem_available_bytes",
         }
         assert isinstance(meta["cpu_count"], int)
         json.dumps(meta)  # JSON-plain

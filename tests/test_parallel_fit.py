@@ -379,7 +379,7 @@ def test_fit_mode_validation():
     with pytest.raises(ValueError):
         rock(make_baskets(10), k=2, theta=0.5, fit_mode="warp")
     assert set(FIT_MODES) == {
-        "auto", "dense", "blocked", "parallel", "fused", "native",
+        "auto", "dense", "blocked", "parallel", "fused", "native", "sharded",
     }
 
 
