@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast lint bench bench-smoke bench-serve bench-serve-http bench-stream bench-shard clean-spill example-serve example-serve-http example-shard example-stream
+.PHONY: test test-fast lint bench bench-smoke bench-assign bench-serve bench-serve-http bench-stream bench-shard clean-spill example-fast-assign example-serve example-serve-http example-shard example-stream
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -20,15 +20,24 @@ bench:
 # the reference loop byte for byte, that a traced fit leaves a
 # complete RunManifest, that the HTTP server answers + coalesces
 # under concurrent load, that stream mode's warmup -> drift refit
-# -> republish chain runs end to end, and that the sharded
-# out-of-core fit is merge-identical to fused -- fast enough for CI
+# -> republish chain runs end to end, that the sharded out-of-core
+# fit is merge-identical to fused, and that the pruned/native assign
+# tiers equal the dense matmul -- fast enough for CI
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/bench_blocked_fit.py benchmarks/bench_parallel_fit.py \
 		benchmarks/bench_merge_phase.py benchmarks/bench_trace_fit.py \
 		benchmarks/bench_serve_http.py benchmarks/bench_stream.py \
-		benchmarks/bench_shard_fit.py \
+		benchmarks/bench_shard_fit.py benchmarks/bench_serve_throughput.py \
 		-k smoke --benchmark-disable -s
+
+# the assignment-tier comparison: dense matmul vs inverted-index
+# pruning vs the native fused kernel across a (clusters x vocab) grid
+bench-assign:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_serve_throughput.py::test_assign_tiers \
+		benchmarks/bench_serve_http.py::test_serve_http_assign_backends \
+		--benchmark-disable -s
 
 # the full sharded-fit bench: 30k overhead/RSS comparison plus the
 # 120k RLIMIT_AS reach demonstration (slow; a few minutes)
@@ -62,6 +71,9 @@ bench-stream:
 
 example-stream:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/stream_cluster.py
+
+example-fast-assign:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/fast_assign.py
 
 example-serve:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/serve_assign.py

@@ -21,6 +21,14 @@ rates plus the batched server's full metrics registry.
 ``test_serve_http_smoke`` is the CI variant: tiny request counts, one
 concurrency level, asserts correctness and that coalescing happened at
 all, skips the throughput comparison (too noisy for shared runners).
+
+``test_serve_http_assign_backends`` compares whole-server RPS and
+latency across the engine's scoring tiers (``dense`` vs ``pruned`` vs
+``native`` where probed) on a deployment-shaped model -- the
+end-to-end view of the inverted-index fast path that
+``bench_serve_throughput.test_assign_tiers`` measures at the engine
+level.  Numbers are reported, not asserted: HTTP adds enough noise
+that the tier bar lives in the engine bench.
 """
 
 import http.client
@@ -206,6 +214,103 @@ def test_serve_http_load(tmp_path, benchmark, save_result, save_manifest):
                 "batched": {"batch_max": 64, "batch_wait_us": 2000},
                 "unbatched": {"batch_max": 1, "batch_wait_us": 0},
                 "results": batched + unbatched,
+            },
+        ),
+    )
+
+
+def test_serve_http_assign_backends(
+    tmp_path, benchmark, save_result, save_manifest
+):
+    """Whole-server throughput per engine scoring tier."""
+    from benchmarks.bench_serve_throughput import (
+        available_tiers,
+        tier_model,
+        tier_points,
+    )
+    from repro.obs import RunManifest, Tracer
+
+    n_clusters, vocab = 200, 2_000
+    model, pools = tier_model(n_clusters, vocab)
+    model_path = tmp_path / "tier-model.json"
+    model.save(model_path)
+    points = [sorted(t.items) for t in tier_points(pools, vocab, 2_000)]
+
+    tracer = Tracer()
+    tiers = available_tiers()
+    rows = []
+    results = []
+    reference_labels = None
+    for backend in tiers:
+        with serve_in_thread(
+            model_path, poll_seconds=30.0, assign_backend=backend
+        ) as handle:
+            served = handle.server.watcher.current
+            assert served.engine.assign_backend == backend
+            # one deterministic pass first: every tier must answer the
+            # same labels through the full HTTP path
+            conn = http.client.HTTPConnection(*handle.address, timeout=60)
+            conn.request(
+                "POST", "/assign_batch",
+                body=json.dumps({"points": points[:200]}),
+            )
+            labels = json.loads(conn.getresponse().read())["labels"]
+            conn.close()
+            if reference_labels is None:
+                reference_labels = labels
+            assert labels == reference_labels, f"{backend} diverges over HTTP"
+
+            drive(handle.address, points, 2, 4)  # warm
+            with tracer.span("http_tier", backend=backend):
+                latencies, wall, failures = drive(
+                    handle.address, points, 16, 30
+                )
+        assert not failures, f"{backend}: {failures[:5]}"
+        record = {
+            "backend": backend,
+            "rps": len(latencies) / wall,
+            "p50_ms": 1000 * percentile(latencies, 50),
+            "p99_ms": 1000 * percentile(latencies, 99),
+        }
+        results.append(record)
+        rows.append([
+            backend, f"{record['rps']:,.0f}",
+            f"{record['p50_ms']:.1f}", f"{record['p99_ms']:.1f}",
+            f"{record['rps'] / results[0]['rps']:.2f}x",
+        ])
+
+    # pytest-benchmark stats: one pruned-tier burst
+    with serve_in_thread(
+        model_path, poll_seconds=30.0, assign_backend="pruned"
+    ) as handle:
+        benchmark.pedantic(
+            lambda: drive(handle.address, points, 8, 8),
+            rounds=3, iterations=1,
+        )
+
+    text = format_table(
+        ["tier", "RPS", "p50 ms", "p99 ms", "vs dense"],
+        rows,
+        title=(
+            f"HTTP /assign by engine tier ({n_clusters} clusters, "
+            f"{vocab:,} vocab; concurrency 16, 30 req/worker)"
+        ),
+    )
+    if "native" not in tiers:
+        text += "\n\n(native tier unavailable on this machine: not probed)"
+    text += "\n\n" + machine_summary()
+    save_result("serve_http_backends", text)
+    save_manifest(
+        "serve_http_backends",
+        RunManifest.from_tracer(
+            "bench_serve_http_backends", tracer,
+            config={
+                "n_clusters": n_clusters,
+                "vocab": vocab,
+                "concurrency": 16,
+                "requests_per_worker": 30,
+                "tiers": tiers,
+                "results": results,
             },
         ),
     )

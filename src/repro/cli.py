@@ -320,6 +320,12 @@ def build_parser() -> argparse.ArgumentParser:
     assign.add_argument("--workers", type=int, default=1)
     assign.add_argument("--chunk-size", type=int, default=2048)
     assign.add_argument(
+        "--assign-backend",
+        choices=["auto", "dense", "pruned", "native"], default="auto",
+        help="scoring tier: dense matmul, inverted-index pruning, or the "
+        "native fused kernel (auto probes native, falls back to pruned)",
+    )
+    assign.add_argument(
         "--show-metrics", action="store_true",
         help="print the serving metrics snapshot after assignment",
     )
@@ -349,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="pending-point bound before requests are shed with 503",
     )
     serve.add_argument("--cache-size", type=int, default=4096)
+    serve.add_argument(
+        "--assign-backend",
+        choices=["auto", "dense", "pruned", "native"], default="auto",
+        help="scoring tier for each model generation's engine",
+    )
     serve.add_argument(
         "--poll-seconds", type=float, default=1.0,
         help="how often to poll the model artifact for hot reload",
@@ -732,7 +743,9 @@ def cmd_assign(args: argparse.Namespace) -> int:
     # counters and the assign span land in the same manifest
     tracer = Tracer()
     metrics = ServeMetrics(registry=tracer.registry)
-    service = ClusteringService.from_file(args.model, metrics=metrics)
+    service = ClusteringService.from_file(
+        args.model, metrics=metrics, assign_backend=args.assign_backend
+    )
     start = time.perf_counter()
     with tracer.span(
         "assign", input=str(args.input), workers=args.workers
@@ -750,6 +763,7 @@ def cmd_assign(args: argparse.Namespace) -> int:
         ["records", n],
         ["clusters in model", service.n_clusters],
         ["outliers / unassigned", int((labels == -1).sum())],
+        ["assign backend", service.engine.assign_backend],
         ["workers", args.workers],
         ["wall-clock (s)", f"{elapsed:.2f}"],
         ["throughput (points/s)", f"{n / elapsed:,.0f}" if elapsed > 0 else "inf"],
@@ -767,6 +781,7 @@ def cmd_assign(args: argparse.Namespace) -> int:
             "input": str(args.input),
             "workers": args.workers,
             "chunk_size": args.chunk_size,
+            "assign_backend": service.engine.assign_backend,
         },
     )
     return 0
@@ -790,6 +805,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_wait_us=args.batch_wait_us,
         queue_depth=args.queue_depth,
         cache_size=args.cache_size,
+        assign_backend=args.assign_backend,
         poll_seconds=args.poll_seconds,
         tracer=tracer,
     )

@@ -9,12 +9,17 @@
   :mod:`repro.parallel.links`; and
 * the component merge inner loop (the lazy-heap agglomeration of
   :func:`repro.core.merge.component_merge_stream`) on flat typed
-  arrays with binary heaps instead of ``heapq`` tuples.
+  arrays with binary heaps instead of ``heapq`` tuples; and
+* the serving assignment hot loop (``assign_block``): candidate
+  gather over the :class:`repro.serve.index.AssignmentIndex` inverted
+  index, Jaccard threshold test and best-cluster argmax fused into
+  one pass per query point.
 
-Both are selected through the existing switches -- ``fit_mode="native"``
-and ``merge_method="native"`` -- and both are **bit-identical** to the
-reference paths: same survivor sets, same merge history with bitwise
-equal goodness floats, same ``heap_ops`` accounting
+All are selected through the existing switches -- ``fit_mode="native"``,
+``merge_method="native"`` and ``assign_backend="native"`` -- and all
+are **bit-identical** to the reference paths: same survivor sets, same
+merge history with bitwise equal goodness floats, same ``heap_ops``
+accounting, same assignment labels and scores
 (property-tested in ``tests/test_native_kernels.py``).
 
 Two backend tiers implement the same kernel interface:
@@ -140,6 +145,23 @@ def _smoke_test(kernels: Any) -> None:
         or out_sizes.tolist() != [2]
     ):
         raise RuntimeError("merge_component smoke test mismatch")
+    # two representatives {0,1} (cluster 0) and {1,2} (cluster 1) at
+    # theta 0.5: point {0,1} matches rep 0 exactly, the empty point is
+    # an outlier, point {2} half-overlaps rep 1
+    labels, best = kernels.assign_block(
+        np.array([0, 2, 2, 3], dtype=np.int64),   # q_indptr
+        np.array([0, 1, 2], dtype=np.int32),      # q_items
+        np.array([2, 0, 1], dtype=np.int64),      # q_sizes
+        np.array([0, 1, 3, 4], dtype=np.int64),   # inv_indptr
+        np.array([0, 0, 1, 1], dtype=np.int32),   # inv_reps
+        np.array([2, 2], dtype=np.int32),         # rep_sizes
+        np.array([0, 1], dtype=np.int32),         # rep_cluster
+        np.array([1.0, 1.0], dtype=np.float64),   # normalisers
+        2,
+        0.5,
+    )
+    if labels.tolist() != [0, -1, 1] or best.tolist() != [1.0, 0.0, 1.0]:
+        raise RuntimeError("assign_block smoke test mismatch")
 
 
 def _probe(name: str) -> Any | None:

@@ -1,8 +1,8 @@
 """Build-on-demand C tier for :mod:`repro.native`.
 
 Compiles ``kernels.c`` (shipped next to this module) with the system C
-compiler the first time it is needed and binds the three kernels
-through :mod:`ctypes`.  The shared object is cached under
+compiler the first time it is needed and binds the kernels through
+:mod:`ctypes`.  The shared object is cached under
 ``$REPRO_NATIVE_CACHE`` (default ``$XDG_CACHE_HOME/repro-native``)
 keyed by a hash of the source, the compiler, and the flags, so every
 later import is a single ``dlopen``.  The build is atomic (tmp file +
@@ -101,6 +101,14 @@ def _bind(lib: ctypes.CDLL) -> None:
         _i64_p, _i32_p, ctypes.c_int64, ctypes.c_int64,
         _i64_p, _i64_p, ctypes.c_int64,
     ]
+    lib.assign_block.restype = ctypes.c_longlong
+    lib.assign_block.argtypes = [
+        _i64_p, _i32_p, _i64_p, ctypes.c_int64,
+        _i64_p, _i32_p, _i32_p, _i32_p, _f64_p,
+        ctypes.c_int64, ctypes.c_double,
+        _i32_p, _i32_p, _i64_p, _i32_p,
+        _i64_p, _f64_p,
+    ]
     lib.merge_component.restype = ctypes.c_longlong
     lib.merge_component.argtypes = [
         ctypes.c_int64, _i64_p,
@@ -124,7 +132,7 @@ def _as_f64(a: Any) -> np.ndarray:
 
 
 class _CextKernels:
-    """The uniform three-kernel interface on top of the bound library."""
+    """The uniform kernel interface on top of the bound library."""
 
     name = "cext"
 
@@ -204,6 +212,46 @@ class _CextKernels:
         if unique < 0:
             raise MemoryError("pair_count_reduce: allocation failed")
         return codes[:unique].copy(), counts[:unique].copy()
+
+    def assign_block(
+        self,
+        q_indptr: np.ndarray,
+        q_items: np.ndarray,
+        q_sizes: np.ndarray,
+        inv_indptr: np.ndarray,
+        inv_reps: np.ndarray,
+        rep_sizes: np.ndarray,
+        rep_cluster: np.ndarray,
+        normalisers: np.ndarray,
+        n_clusters: int,
+        theta: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        q_indptr = _as_i64(q_indptr)
+        q_items = _as_i32(q_items)
+        q_sizes = _as_i64(q_sizes)
+        inv_indptr = _as_i64(inv_indptr)
+        inv_reps = _as_i32(inv_reps)
+        rep_sizes = _as_i32(rep_sizes)
+        rep_cluster = _as_i32(rep_cluster)
+        normalisers = _as_f64(normalisers)
+        b = int(q_indptr.size) - 1
+        n_reps = int(rep_sizes.size)
+        acc = np.zeros(max(n_reps, 1), dtype=np.int32)
+        # one spare slot: the kernel's branchless first-touch write
+        # targets touched[n_touched] even for repeat touches
+        touched = np.empty(n_reps + 1, dtype=np.int32)
+        ccounts = np.zeros(max(int(n_clusters), 1), dtype=np.int64)
+        ctouched = np.empty(max(int(n_clusters), 1), dtype=np.int32)
+        out_labels = np.empty(max(b, 1), dtype=np.int64)
+        out_best = np.empty(max(b, 1), dtype=np.float64)
+        self._lib.assign_block(
+            q_indptr, q_items, q_sizes, b,
+            inv_indptr, inv_reps, rep_sizes, rep_cluster, normalisers,
+            int(n_clusters), float(theta),
+            acc, touched, ccounts, ctouched,
+            out_labels, out_best,
+        )
+        return out_labels[:b], out_best[:b]
 
     def merge_component(
         self,

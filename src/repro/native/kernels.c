@@ -20,6 +20,11 @@
  *   merge_component   <-> repro.core.merge.component_merge_stream
  *                         (same lazy-heap selection, same goodness
  *                         arithmetic and association, same heap_ops)
+ *   assign_block      <-> repro.serve.index.AssignmentIndex
+ *                         .assign_with_scores (same candidate gather
+ *                         over the inverted index, same float64
+ *                         inter/union >= theta test, same first-max
+ *                         argmax over the normalised cluster counts)
  *
  * Transaction/item ids travel as int32 (halving the bandwidth of the
  * randomly-accessed hot arrays); callers guarantee n < 2^31.
@@ -378,6 +383,117 @@ long long pair_count_reduce(
     }
     return u;
 }
+
+/* ------------------------------------------------------------------ */
+/* 2b. fused serving assignment over the inverted index                */
+/* ------------------------------------------------------------------ */
+
+/* Assign a CSR-encoded query block against the item->representative
+ * inverted index: candidate gather, Jaccard threshold test and
+ * best-cluster argmax fused into one pass per point.
+ *
+ * q_indptr/q_items    CSR of query points -> in-vocabulary item codes
+ * q_sizes             true item count per point (OOV items enlarge
+ *                     the union without appearing in q_items)
+ * inv_indptr/inv_reps CSC of the representative indicator matrix:
+ *                     item -> ascending representative ids
+ * rep_sizes           |rep| per representative (exact integers)
+ * rep_cluster         representative -> cluster id
+ * normalisers         (|L_c| + 1)^f per cluster
+ * acc, touched        int32 workspaces; acc has length n_reps and
+ *                     must arrive zeroed (it is returned zeroed);
+ *                     touched has length n_reps + 1 -- the branchless
+ *                     first-touch write lands in the spare slot when
+ *                     every representative is already touched
+ * ccounts, ctouched   i64/i32 workspaces of length n_clusters;
+ *                     ccounts must arrive zeroed (returned zeroed)
+ * out_labels/out_best winning cluster (-1 = outlier) and its
+ *                     normalised score (0.0 for outliers) per point
+ *
+ * theta > 0 is a precondition (theta == 0 makes every representative
+ * a neighbor and is answered by the Python path with constant
+ * counts).  A candidate has inter >= 1, hence union >= 1, so the
+ * float64 quotient matches the reference's guarded division bit for
+ * bit.  The argmax scans only the touched clusters: an untouched
+ * cluster scores exactly 0.0 while any neighbor count >= 1 divided by
+ * a positive normaliser scores > 0, so the global first-max winner is
+ * always among the touched clusters -- ties break toward the lowest
+ * cluster id, np.argmax order.  (If every touched cluster still
+ * scores 0.0 -- a degenerate normaliser overflowing to inf -- the
+ * global argmax is cluster 0, restored below.)
+ *
+ * Returns the number of outliers in the block.
+ */
+long long assign_block(
+    const i64 *q_indptr, const i32 *q_items, const i64 *q_sizes, i64 b,
+    const i64 *inv_indptr, const i32 *inv_reps,
+    const i32 *rep_sizes, const i32 *rep_cluster,
+    const double *normalisers,
+    i64 n_clusters, double theta,
+    i32 *acc, i32 *touched,
+    i64 *ccounts, i32 *ctouched,
+    i64 *out_labels, double *out_best)
+{
+    i64 n_outliers = 0;
+    for (i64 i = 0; i < b; i++) {
+        i64 n_touched = 0;
+        i64 p = q_indptr[i], p_end = q_indptr[i + 1];
+        if (p < p_end) {
+            /* first item: every posting entry is a fresh touch */
+            i64 item = q_items[p++];
+            for (i64 q = inv_indptr[item]; q < inv_indptr[item + 1]; q++) {
+                i32 r = inv_reps[q];
+                acc[r] = 1;
+                touched[n_touched++] = r;
+            }
+        }
+        for (; p < p_end; p++) {
+            i64 item = q_items[p];
+            for (i64 q = inv_indptr[item]; q < inv_indptr[item + 1]; q++) {
+                i32 r = inv_reps[q];
+                i32 a = acc[r];
+                /* branchless first-touch tracking (see score_block) */
+                touched[n_touched] = r;
+                n_touched += (a == 0);
+                acc[r] = a + 1;
+            }
+        }
+        i64 qsize = q_sizes[i];
+        i64 n_clu = 0;
+        for (i64 t = 0; t < n_touched; t++) {
+            i32 r = touched[t];
+            i64 inter = acc[r];
+            acc[r] = 0;
+            i64 uni = (i64)rep_sizes[r] + qsize - inter;
+            if ((double)inter / (double)uni >= theta) {
+                i32 c = rep_cluster[r];
+                if (ccounts[c] == 0)
+                    ctouched[n_clu++] = c;
+                ccounts[c]++;
+            }
+        }
+        double best = 0.0;
+        i64 lab = -1;
+        for (i64 t = 0; t < n_clu; t++) {
+            i32 c = ctouched[t];
+            double s = (double)ccounts[c] / normalisers[c];
+            ccounts[c] = 0;
+            if (s > best || (s == best && (lab < 0 || (i64)c < lab))) {
+                best = s;
+                lab = c;
+            }
+        }
+        if (lab >= 0 && best == 0.0)
+            lab = 0; /* all scores 0.0: np.argmax picks index 0 */
+        if (lab < 0)
+            n_outliers++;
+        out_labels[i] = lab;
+        out_best[i] = best;
+    }
+    (void)n_clusters;
+    return n_outliers;
+}
+
 
 /* ------------------------------------------------------------------ */
 /* 3. component merge inner loop                                       */

@@ -1,6 +1,6 @@
 """Numba tier for :mod:`repro.native`.
 
-``@njit`` ports of the three kernels in ``kernels.c``, compiled lazily
+``@njit`` ports of the kernels in ``kernels.c``, compiled lazily
 on first call (``cache=True`` persists the machine code across
 processes).  Importing this module without numba installed raises
 ``ImportError``, which the probe in :mod:`repro.native` treats as
@@ -154,6 +154,61 @@ def _pair_count_reduce(list_indptr, list_indices, n, codes, counts):
         u += 1
         i = j
     return u
+
+
+# ------------------------------------------------------------------
+# 2b. fused serving assignment over the inverted index
+# ------------------------------------------------------------------
+
+@njit(**_JIT)
+def _assign_block(
+    q_indptr, q_items, q_sizes,
+    inv_indptr, inv_reps, rep_sizes, rep_cluster, normalisers,
+    theta, acc, touched, ccounts, ctouched, out_labels, out_best,
+):
+    # candidate gather + threshold + first-max argmax fused per point;
+    # theta > 0 precondition, untouched clusters score exactly 0.0
+    b = q_indptr.size - 1
+    n_outliers = 0
+    for i in range(b):
+        n_touched = 0
+        for p in range(q_indptr[i], q_indptr[i + 1]):
+            item = q_items[p]
+            for q in range(inv_indptr[item], inv_indptr[item + 1]):
+                r = inv_reps[q]
+                if acc[r] == 0:
+                    touched[n_touched] = r
+                    n_touched += 1
+                acc[r] += 1
+        qsize = q_sizes[i]
+        n_clu = 0
+        for t in range(n_touched):
+            r = touched[t]
+            inter = np.int64(acc[r])
+            acc[r] = 0
+            uni = np.int64(rep_sizes[r]) + qsize - inter
+            if float(inter) / float(uni) >= theta:
+                c = rep_cluster[r]
+                if ccounts[c] == 0:
+                    ctouched[n_clu] = c
+                    n_clu += 1
+                ccounts[c] += 1
+        best = 0.0
+        lab = np.int64(-1)
+        for t in range(n_clu):
+            c = np.int64(ctouched[t])
+            s = float(ccounts[c]) / normalisers[c]
+            ccounts[c] = 0
+            if s > best or (s == best and (lab < 0 or c < lab)):
+                best = s
+                lab = c
+        if lab >= 0 and best == 0.0:
+            lab = np.int64(0)  # all scores 0.0: np.argmax picks index 0
+        if lab < 0:
+            n_outliers += 1
+        out_labels[i] = lab
+        out_best[i] = best
+    return n_outliers
 
 
 # ------------------------------------------------------------------
@@ -514,7 +569,7 @@ def _merge_component(
 
 
 class _NumbaKernels:
-    """The uniform three-kernel interface on top of the njit functions."""
+    """The uniform kernel interface on top of the njit functions."""
 
     name = "numba"
 
@@ -575,6 +630,35 @@ class _NumbaKernels:
             codes[:unique].astype(np.int64),
             counts[:unique].copy(),
         )
+
+    def assign_block(
+        self, q_indptr, q_items, q_sizes,
+        inv_indptr, inv_reps, rep_sizes, rep_cluster, normalisers,
+        n_clusters, theta,
+    ):
+        q_indptr = np.ascontiguousarray(q_indptr, dtype=np.int64)
+        q_items = np.ascontiguousarray(q_items, dtype=np.int32)
+        q_sizes = np.ascontiguousarray(q_sizes, dtype=np.int64)
+        inv_indptr = np.ascontiguousarray(inv_indptr, dtype=np.int64)
+        inv_reps = np.ascontiguousarray(inv_reps, dtype=np.int32)
+        rep_sizes = np.ascontiguousarray(rep_sizes, dtype=np.int32)
+        rep_cluster = np.ascontiguousarray(rep_cluster, dtype=np.int32)
+        normalisers = np.ascontiguousarray(normalisers, dtype=np.float64)
+        b = int(q_indptr.size) - 1
+        n_reps = int(rep_sizes.size)
+        acc = np.zeros(max(n_reps, 1), dtype=np.int32)
+        touched = np.empty(max(n_reps, 1), dtype=np.int32)
+        ccounts = np.zeros(max(int(n_clusters), 1), dtype=np.int64)
+        ctouched = np.empty(max(int(n_clusters), 1), dtype=np.int32)
+        out_labels = np.empty(max(b, 1), dtype=np.int64)
+        out_best = np.empty(max(b, 1), dtype=np.float64)
+        _assign_block(
+            q_indptr, q_items, q_sizes,
+            inv_indptr, inv_reps, rep_sizes, rep_cluster, normalisers,
+            float(theta), acc, touched, ccounts, ctouched,
+            out_labels, out_best,
+        )
+        return out_labels[:b], out_best[:b]
 
     def merge_component(self, sizes, pair_lo, pair_hi, pair_count, ptable, naive):
         sizes = np.ascontiguousarray(sizes, dtype=np.int64)

@@ -10,13 +10,20 @@ neighbor computation of :mod:`repro.core.neighbors` uses) -- and adds:
 * an LRU cache keyed on the point's item set, so duplicate and repeated
   points (ubiquitous in categorical data, where the value space is
   small) skip scoring entirely;
+* a tiered fast path: the default ``pruned`` backend scores each point
+  only against candidate representatives gathered from the
+  :class:`~repro.serve.index.AssignmentIndex` inverted index (built
+  once at engine construction), and ``native`` fuses that gather with
+  the argmax in a :mod:`repro.native` kernel -- both bit-identical to
+  the dense matmul (``assign_backend="dense"``);
 * a pure-Python fallback for custom similarities, delegating per point
   to the scalar :class:`ClusterLabeler` path;
 * metrics (requests, outlier rate, cache hit rate, latency) recorded on
-  a shared :class:`~repro.serve.metrics.ServeMetrics`.
+  a shared :class:`~repro.serve.metrics.ServeMetrics`, plus one
+  ``serve.assign.backend.<tier>`` gauge marking the active tier.
 
 Assignments are bit-for-bit identical to ``ClusterLabeler.assign`` --
-the equivalence is property-tested.
+the equivalence is property-tested for every backend tier.
 """
 
 from __future__ import annotations
@@ -24,14 +31,19 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence, Sized
 from typing import Any
 
 import numpy as np
 
 from repro.core.similarity import _as_item_set
+from repro.serve.index import AssignmentIndex, resolve_assign_backend
 from repro.serve.metrics import ServeMetrics
 from repro.serve.model import RockModel
+
+# every value engine.assign_backend can take; "fallback" marks the
+# scalar custom-similarity path where no index exists at all
+BACKEND_TIERS = ("dense", "pruned", "native", "fallback")
 
 
 class AssignmentEngine:
@@ -47,7 +59,15 @@ class AssignmentEngine:
     metrics:
         Shared metrics sink; a private one is created when omitted.
     block_size:
-        Rows per matmul block, bounding peak memory for huge batches.
+        Rows per scoring block, bounding peak memory for huge batches.
+    assign_backend:
+        ``"auto"`` (default: native when the probe opts in, else
+        pruned), ``"dense"``, ``"pruned"`` or ``"native"``.  Ignored
+        (scalar fallback) when the model's similarity admits no index.
+    prebuilt_index:
+        An :class:`AssignmentIndex` built elsewhere for this model --
+        the stream-worker path ships one through the pool payload so
+        every worker skips the build.
     """
 
     def __init__(
@@ -56,6 +76,8 @@ class AssignmentEngine:
         cache_size: int = 4096,
         metrics: ServeMetrics | None = None,
         block_size: int = 8192,
+        assign_backend: str = "auto",
+        prebuilt_index: AssignmentIndex | None = None,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
@@ -68,6 +90,26 @@ class AssignmentEngine:
         # the vectorised index exists exactly when the labeler's own
         # fast path does (plain Jaccard over item-set-like points)
         self._index = self._labeler.index
+        backend, kernels = resolve_assign_backend(assign_backend)
+        self._fast_index: AssignmentIndex | None = None
+        self._kernels: Any | None = None
+        if self._index is None:
+            backend = "fallback"
+        elif backend == "dense":
+            pass
+        else:
+            self._fast_index = (
+                prebuilt_index
+                if prebuilt_index is not None
+                else AssignmentIndex(self._index)
+            )
+            self._kernels = kernels  # None on the pruned tier
+        self._backend = backend
+        registry = self.metrics.registry
+        for tier in BACKEND_TIERS:
+            registry.set_gauge(
+                f"serve.assign.backend.{tier}", int(tier == backend)
+            )
         self._cache: OrderedDict[Any, int] = OrderedDict()
         self._cache_size = cache_size
         # the async HTTP server shares one engine between the event
@@ -81,6 +123,16 @@ class AssignmentEngine:
         return self._index is not None
 
     @property
+    def assign_backend(self) -> str:
+        """The resolved scoring tier: dense / pruned / native / fallback."""
+        return self._backend
+
+    @property
+    def fast_index(self) -> AssignmentIndex | None:
+        """The inverted index (``None`` on the dense and fallback tiers)."""
+        return self._fast_index
+
+    @property
     def n_clusters(self) -> int:
         return self.model.n_clusters
 
@@ -91,23 +143,29 @@ class AssignmentEngine:
     def assign_batch(self, points: Sequence[Any]) -> np.ndarray:
         """Labels for a whole batch, in input order.
 
-        Cache lookups run first; each distinct *cacheable* point is
+        Cache lookups run first; each distinct *keyable* point is
         scored at most once per batch, regardless of how often it
-        repeats.  Uncacheable points (unhashable, or ``cache_size=0``)
-        bypass the cache entirely and are scored per occurrence; they
-        are reported to the metrics as ``uncacheable``, not as cache
-        misses, so the hit rate reflects real LRU lookups only.
+        repeats -- including when ``cache_size=0``, where hashable
+        points still dedupe within the batch but bypass the LRU.
+        Points that never reach the cache (unhashable, or caching
+        disabled) are reported to the metrics as ``uncacheable`` per
+        occurrence, not as cache misses, so the hit rate reflects real
+        LRU lookups only.
         """
         start = time.perf_counter()
         points = list(points)
         labels = np.empty(len(points), dtype=np.int64)
         hits = 0
-        pending: dict[Any, list[int]] = {}  # cache key -> positions
-        uncached: list[tuple[int, Any]] = []  # position, point (uncacheable)
+        pending: dict[Any, list[int]] = {}  # cache key -> positions (LRU on)
+        nocache: dict[Any, list[int]] = {}  # key -> positions (LRU off)
+        unkeyed: list[tuple[int, Any]] = []  # position, unhashable point
         for i, point in enumerate(points):
             key = self._cache_key(point)
             if key is None:
-                uncached.append((i, point))
+                unkeyed.append((i, point))
+                continue
+            if self._cache_size == 0:
+                nocache.setdefault(key, []).append(i)
                 continue
             cached = self._cache_get(key)
             if cached is not None:
@@ -116,15 +174,21 @@ class AssignmentEngine:
             else:
                 pending.setdefault(key, []).append(i)
         misses = len(pending)
+        uncacheable = len(unkeyed) + sum(len(v) for v in nocache.values())
         to_score = [points[positions[0]] for positions in pending.values()]
-        to_score.extend(point for _, point in uncached)
+        to_score.extend(points[positions[0]] for positions in nocache.values())
+        to_score.extend(point for _, point in unkeyed)
         if to_score:
             scored = self._assign_uncached(to_score)
             for j, (key, positions) in enumerate(pending.items()):
                 labels[positions] = scored[j]
                 self._cache_put(key, int(scored[j]))
-            for j, (i, _) in enumerate(uncached):
-                labels[i] = scored[len(pending) + j]
+            offset = len(pending)
+            for j, positions in enumerate(nocache.values()):
+                labels[positions] = scored[offset + j]
+            offset += len(nocache)
+            for j, (i, _) in enumerate(unkeyed):
+                labels[i] = scored[offset + j]
         self.metrics.record_batch(
             n_points=len(points),
             n_outliers=int((labels == -1).sum()),
@@ -132,7 +196,7 @@ class AssignmentEngine:
             stage="assign_batch" if self.vectorized else "assign_fallback",
             cache_hits=hits,
             cache_misses=misses,
-            uncacheable=len(uncached),
+            uncacheable=uncacheable,
         )
         return labels
 
@@ -156,14 +220,24 @@ class AssignmentEngine:
             yield from map(int, self.assign_batch(batch))
 
     def assign_all(self, points: Iterable[Any], batch_size: int = 1024) -> np.ndarray:
-        """Labels for an iterable as one array (batched internally)."""
-        return np.fromiter(
-            self.assign_iter(points, batch_size=batch_size), dtype=np.int64
-        )
+        """Labels for an iterable as one array (batched internally).
+
+        A sized input pre-sizes the output array (``np.fromiter`` with
+        ``count=``), so a disk-scale labeled scan never pays the
+        doubling-reallocation churn of growing the result.
+        """
+        labels = self.assign_iter(points, batch_size=batch_size)
+        if isinstance(points, Sized):
+            return np.fromiter(labels, dtype=np.int64, count=len(points))
+        return np.fromiter(labels, dtype=np.int64)
 
     # -- internals ----------------------------------------------------------
 
     def _assign_uncached(self, points: list[Any]) -> np.ndarray:
+        if self._fast_index is not None:
+            return self._fast_index.assign(
+                points, block_size=self.block_size, kernels=self._kernels
+            )
         if self._index is not None:
             return self._index.assign(points, block_size=self.block_size)
         return np.array(
@@ -171,8 +245,6 @@ class AssignmentEngine:
         )
 
     def _cache_key(self, point: Any) -> Any | None:
-        if self._cache_size == 0:
-            return None
         try:
             return _as_item_set(point)
         except TypeError:

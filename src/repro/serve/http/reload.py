@@ -121,6 +121,7 @@ class ModelWatcher:
         cache_size: int = 4096,
         poll_seconds: float = 1.0,
         rewrite_window_seconds: float = 2.0,
+        assign_backend: str = "auto",
     ) -> None:
         if poll_seconds <= 0:
             raise ValueError("poll_seconds must be positive")
@@ -129,6 +130,7 @@ class ModelWatcher:
         self.path = Path(path)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.cache_size = cache_size
+        self.assign_backend = assign_backend
         self.poll_seconds = poll_seconds
         self.rewrite_window_seconds = rewrite_window_seconds
         self._reloads = self.registry.counter("http.reload.count")
@@ -144,11 +146,15 @@ class ModelWatcher:
         signature = _file_signature(self.path)
         model, digest = _read_artifact(self.path)
         # every generation shares the one registry, so serve.* counters
-        # keep accumulating across swaps instead of resetting
+        # keep accumulating across swaps instead of resetting; the
+        # engine builds its AssignmentIndex here, once per generation --
+        # batches snapshot a whole ServedModel, so a flush never mixes
+        # an old index with a new model
         engine = AssignmentEngine(
             model,
             cache_size=self.cache_size,
             metrics=ServeMetrics(registry=self.registry),
+            assign_backend=self.assign_backend,
         )
         return ServedModel(
             model=model,

@@ -137,6 +137,10 @@ class RockHttpServer:
         microseconds, and the bounded-queue depth that triggers 503s.
     cache_size:
         LRU size for each model generation's engine.
+    assign_backend:
+        Scoring tier for each generation's engine (``"auto"``,
+        ``"dense"``, ``"pruned"`` or ``"native"``); the reload watcher
+        rebuilds the fast index once per model generation.
     poll_seconds:
         Artifact poll interval for hot reload.
     registry / tracer:
@@ -157,6 +161,7 @@ class RockHttpServer:
         batch_wait_us: int = 2000,
         queue_depth: int = 1024,
         cache_size: int = 4096,
+        assign_backend: str = "auto",
         poll_seconds: float = 1.0,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
@@ -174,6 +179,7 @@ class RockHttpServer:
             registry=self.registry,
             cache_size=cache_size,
             poll_seconds=poll_seconds,
+            assign_backend=assign_backend,
         )
         self.batcher = RequestBatcher(
             self._flush_assign,
@@ -444,6 +450,7 @@ class RockHttpServer:
                 ],
                 "cluster_sizes": served.model.cluster_sizes,
                 "vectorized": served.engine.vectorized,
+                "assign_backend": served.engine.assign_backend,
                 "metadata": served.model.metadata,
             }
         )

@@ -3,8 +3,11 @@
 The §4.6 labeling scan is embarrassingly parallel: every point is
 scored independently against the same frozen model.  This module
 shards an input stream into chunks, ships the *model* (as its JSON
-dict -- cheap, a few KB) to each worker once via the pool initializer,
-and assigns chunks with a per-worker :class:`AssignmentEngine`.
+dict -- cheap, a few KB) plus the caller's prebuilt
+:class:`~repro.serve.index.AssignmentIndex` (pure numpy arrays, so it
+pickles; each worker skips the index build) to each worker once via
+the pool initializer, and assigns chunks with a per-worker
+:class:`AssignmentEngine`.
 ``imap`` keeps results in submission order, so output labels line up
 with input points exactly.  Each chunk travels back as a label array
 plus a :class:`ServeMetrics` snapshot delta, which the caller merges
@@ -41,10 +44,20 @@ __all__ = ["assign_stream", "default_workers"]
 _WORKER_ENGINE: AssignmentEngine | None = None
 
 
-def _init_worker(model_dict: dict[str, Any], cache_size: int) -> None:
+def _init_worker(
+    model_dict: dict[str, Any],
+    cache_size: int,
+    assign_backend: str = "auto",
+    prebuilt_index: Any | None = None,
+) -> None:
     global _WORKER_ENGINE
+    # the index arrives prebuilt through the payload; native kernel
+    # handles are never shipped -- each worker re-resolves its own
     _WORKER_ENGINE = AssignmentEngine(
-        RockModel.from_dict(model_dict), cache_size=cache_size
+        RockModel.from_dict(model_dict),
+        cache_size=cache_size,
+        assign_backend=assign_backend,
+        prebuilt_index=prebuilt_index,
     )
 
 
@@ -69,6 +82,8 @@ def assign_stream(
     chunk_size: int = 2048,
     cache_size: int = 4096,
     metrics: ServeMetrics | None = None,
+    assign_backend: str = "auto",
+    prebuilt_index: Any | None = None,
 ) -> np.ndarray:
     """Assign an arbitrarily large stream of points, in input order.
 
@@ -92,6 +107,14 @@ def assign_stream(
         (cache hits/misses/uncacheable, per-batch latencies, outlier
         counts) merged from worker snapshots, plus one
         ``assign_stream`` latency observation for the whole run.
+    assign_backend:
+        Scoring tier for the per-worker engines (see
+        :class:`AssignmentEngine`).
+    prebuilt_index:
+        An :class:`~repro.serve.index.AssignmentIndex` already built
+        for this model; shipped to every worker through the pool
+        payload so none of them rebuilds it.  Built here once when
+        omitted (and the tier needs one).
 
     Returns
     -------
@@ -111,11 +134,24 @@ def assign_stream(
             # boundary without pickle, so stay in-process
             workers = 1
     if workers <= 1 or model_dict is None:
-        engine = AssignmentEngine(model, cache_size=cache_size, metrics=metrics)
+        engine = AssignmentEngine(
+            model,
+            cache_size=cache_size,
+            metrics=metrics,
+            assign_backend=assign_backend,
+            prebuilt_index=prebuilt_index,
+        )
         labels = engine.assign_all(points, batch_size=chunk_size)
         if metrics is not None:
             metrics.observe_latency("assign_stream", time.perf_counter() - start)
         return labels
+
+    if prebuilt_index is None:
+        # build the index once here rather than once per worker; a
+        # throwaway engine resolves the tier exactly as workers will
+        prebuilt_index = AssignmentEngine(
+            model, cache_size=0, assign_backend=assign_backend
+        ).fast_index
 
     # per-chunk label arrays, concatenated once at the end -- a stream
     # of millions of points must not be re-boxed into Python ints
@@ -125,7 +161,7 @@ def assign_stream(
         iter_chunks(points, chunk_size),
         workers=workers,
         initializer=_init_worker,
-        initargs=(model_dict, cache_size),
+        initargs=(model_dict, cache_size, assign_backend, prebuilt_index),
     ):
         collected.append(part)
         if metrics is not None:

@@ -36,6 +36,10 @@ class ClusteringService:
         streams).
     metrics:
         Optional shared sink; a private one is created when omitted.
+    assign_backend:
+        Scoring tier for the embedded engine (and for parallel stream
+        workers): ``"auto"``, ``"dense"``, ``"pruned"`` or
+        ``"native"``.
     """
 
     def __init__(
@@ -43,12 +47,17 @@ class ClusteringService:
         model: RockModel,
         cache_size: int = 4096,
         metrics: ServeMetrics | None = None,
+        assign_backend: str = "auto",
     ) -> None:
         self.model = model
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self._cache_size = cache_size
+        self._assign_backend = assign_backend
         self.engine = AssignmentEngine(
-            model, cache_size=cache_size, metrics=self.metrics
+            model,
+            cache_size=cache_size,
+            metrics=self.metrics,
+            assign_backend=assign_backend,
         )
 
     @classmethod
@@ -57,9 +66,15 @@ class ClusteringService:
         path: str | Path,
         cache_size: int = 4096,
         metrics: ServeMetrics | None = None,
+        assign_backend: str = "auto",
     ) -> "ClusteringService":
         """Load a saved model and stand up a service around it."""
-        return cls(RockModel.load(path), cache_size=cache_size, metrics=metrics)
+        return cls(
+            RockModel.load(path),
+            cache_size=cache_size,
+            metrics=metrics,
+            assign_backend=assign_backend,
+        )
 
     @property
     def n_clusters(self) -> int:
@@ -89,6 +104,8 @@ class ClusteringService:
             chunk_size=chunk_size,
             cache_size=self._cache_size,
             metrics=self.metrics,
+            assign_backend=self._assign_backend,
+            prebuilt_index=self.engine.fast_index,
         )
 
     def assign_file(
@@ -135,5 +152,6 @@ class ClusteringService:
             "labeling_set_sizes": [len(li) for li in self.model.labeling_sets],
             "cluster_sizes": self.model.cluster_sizes,
             "vectorized": self.engine.vectorized,
+            "assign_backend": self.engine.assign_backend,
             "metadata": dict(self.model.metadata),
         }

@@ -40,6 +40,7 @@ import numpy as np
 from repro.core.labeling import ClusterLabeler
 from repro.core.pipeline import PipelineResult, RockPipeline
 from repro.obs.trace import Tracer
+from repro.serve.index import AssignmentIndex, resolve_assign_backend
 from repro.serve.model import CHECKSUM_KEY, RockModel, artifact_checksum
 from repro.stream.drift import DriftDetector
 from repro.stream.reservoir import OnlineReservoir
@@ -144,6 +145,10 @@ class StreamClusterer:
         Arrivals labeled per vectorised batch.
     seed:
         Reservoir rng seed (the pipeline's own seed governs the fits).
+    assign_backend:
+        Scoring tier for the labeling hot loop (``"auto"``,
+        ``"dense"``, ``"pruned"`` or ``"native"``); the fast index is
+        rebuilt once per refit, alongside the labeler.
     tracer:
         Spans + metrics sink; refits record ``stream.refit`` spans and
         the ``stream.*`` counter family lands in ``tracer.registry``.
@@ -165,6 +170,7 @@ class StreamClusterer:
         refit_mode: str = "resume",
         batch_size: int = 256,
         seed: int | None = None,
+        assign_backend: str = "auto",
         tracer: Tracer | None = None,
         on_batch: Callable[[list[Any], np.ndarray, np.ndarray, str], None] | None = None,
         on_refit: Callable[[RefitEvent], None] | None = None,
@@ -206,6 +212,10 @@ class StreamClusterer:
         self.version: str | None = None
         self.last_result: PipelineResult | None = None
         self._labeler: ClusterLabeler | None = None
+        self._assign_backend, self._assign_kernels = resolve_assign_backend(
+            assign_backend
+        )
+        self._fast_index: AssignmentIndex | None = None
         self._arrivals_at_last_fit = 0
         self._refit_count = 0
         self._drain = threading.Event()
@@ -292,6 +302,10 @@ class StreamClusterer:
         """Label one batch against the current model: ``(labels, best scores)``."""
         labeler = self._labeler
         assert labeler is not None
+        if self._fast_index is not None:
+            return self._fast_index.assign_with_scores(
+                batch, kernels=self._assign_kernels
+            )
         index = labeler.index
         if index is not None:
             counts = index.neighbor_counts(batch)
@@ -357,6 +371,14 @@ class StreamClusterer:
         self.version = version
         self.last_result = result
         self._labeler = model.labeler()
+        # one index build per refit, reused by every labeled batch (and
+        # the next refit's resume partition) until the model changes
+        self._fast_index = (
+            AssignmentIndex(self._labeler.index)
+            if self._labeler.index is not None
+            and self._assign_backend != "dense"
+            else None
+        )
         self._arrivals_at_last_fit = self.reservoir.seen
         self._refit_count += 1
         self._refits.inc()

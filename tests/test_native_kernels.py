@@ -289,6 +289,59 @@ class TestNativeMergeEngine:
         )
 
 
+# -- the serving assign kernel: fused gather/threshold/argmax ----------------
+
+
+class TestNativeAssignKernel:
+    def test_probe_advertises_assign_block(self):
+        """Every advertised tier carries the serving assign kernel.
+
+        The probe's smoke test exercises ``assign_block`` before a tier
+        is offered at all, so a namespace without it (or with a broken
+        one) must never reach ``AVAILABLE``.
+        """
+        for name in AVAILABLE:
+            kernels = get_kernels(name)
+            assert hasattr(kernels, "assign_block"), name
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sets=item_sets,
+        points=st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=20), max_size=6),
+            min_size=1,
+            max_size=25,
+        ),
+        theta=st.sampled_from(THETAS),
+        block_size=st.sampled_from([1, 3, 8192]),
+    )
+    def test_assign_block_matches_pruned_path(
+        self, sets, points, theta, block_size
+    ):
+        from repro.core.labeling import LabelingIndex
+        from repro.serve.index import AssignmentIndex
+        from repro.data.transactions import Transaction as T
+
+        half = max(1, len(sets) // 2)
+        labeling_sets = [
+            [T(s) for s in sets[:half]], [T(s) for s in sets[half:]]
+        ]
+        dense = LabelingIndex(labeling_sets, theta, 0.4)
+        fast = AssignmentIndex(dense)
+        batch = [T(p) for p in points]
+        ref_labels, ref_best = fast.assign_with_scores(
+            batch, block_size=block_size
+        )
+        assert np.array_equal(dense.assign(batch), ref_labels)
+        for name in AVAILABLE:
+            kernels = get_kernels(name)
+            labels, best = fast.assign_with_scores(
+                batch, block_size=block_size, kernels=kernels
+            )
+            assert np.array_equal(labels, ref_labels), name
+            assert best.tobytes() == ref_best.tobytes(), name
+
+
 # -- end to end ---------------------------------------------------------------
 
 

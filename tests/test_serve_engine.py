@@ -133,6 +133,23 @@ class TestEngineBehaviours:
         assert list(engine.assign_iter(iter(batch), batch_size=2)) == [0, 1, -1]
         assert engine.assign_all(batch).tolist() == [0, 1, -1]
 
+    def test_assign_all_sized_and_unsized_inputs_agree(self):
+        """Sized inputs pre-size the label array; generators still work.
+
+        Regression: ``np.fromiter`` was called without ``count=`` even
+        for sized inputs, growing the output by repeated reallocation.
+        """
+        engine = AssignmentEngine(make_model([CLUSTER_A, CLUSTER_B]))
+        batch = [Transaction({1, 2, 3}), Transaction({7, 8, 9}),
+                 Transaction({42})] * 7
+        from_list = engine.assign_all(batch, batch_size=4)
+        from_tuple = engine.assign_all(tuple(batch), batch_size=4)
+        from_gen = engine.assign_all((p for p in batch), batch_size=4)
+        assert from_list.tolist() == [0, 1, -1] * 7
+        assert from_tuple.tolist() == from_list.tolist()
+        assert from_gen.tolist() == from_list.tolist()
+        assert from_list.dtype == np.int64
+
     def test_cache_eviction_keeps_results_correct(self):
         engine = AssignmentEngine(make_model([CLUSTER_A, CLUSTER_B]), cache_size=2)
         batch = [Transaction({i, i + 1}) for i in range(20)]
@@ -213,6 +230,35 @@ class TestCacheAccounting:
         assert snap["misses"] == 1  # "p" is a real lookup miss
         assert snap["uncacheable"] == 2
         assert snap["lookups"] == 1
+
+    def test_cache_disabled_still_dedupes_within_batch(self):
+        """cache_size=0 must not re-score duplicates inside one batch.
+
+        Regression: the cacheless path used to score every occurrence,
+        so a batch of 5000 copies of one point paid 5000 scorings.  The
+        dedupe is in-batch only -- the LRU stays off and the metrics
+        still report every occurrence as uncacheable.
+        """
+        metrics = ServeMetrics()
+        engine = AssignmentEngine(
+            make_model([CLUSTER_A, CLUSTER_B]), cache_size=0, metrics=metrics
+        )
+        scored_sizes = []
+        original = engine._assign_uncached
+
+        def spy(points):
+            scored_sizes.append(len(points))
+            return original(points)
+
+        engine._assign_uncached = spy
+        batch = [Transaction({1, 2, 3})] * 5 + [Transaction({7, 8, 9})] * 3
+        labels = engine.assign_batch(batch)
+        assert labels.tolist() == [0] * 5 + [1] * 3
+        assert scored_sizes == [2]  # two distinct keys, scored once each
+        snap = metrics.snapshot()["cache"]
+        assert snap["hits"] == 0 and snap["misses"] == 0
+        assert snap["uncacheable"] == 8
+        assert len(engine._cache) == 0  # the LRU really stayed off
 
     def test_hit_rate_is_exact_with_mixed_traffic(self):
         metrics = ServeMetrics()
